@@ -1,0 +1,67 @@
+"""Figure 10: filescan runtimes vs dataset size.
+
+The paper scans 1 to 100 GB of Google Books SFAs; all approaches scale
+linearly, with MAP ~3 orders of magnitude below FullSFA and Staccato
+configurations in between.  We sweep a Google-Books-style synthetic
+corpus over a 1:8 size range and check linearity plus the ordering.
+"""
+
+import pytest
+
+from repro.bench.harness import CorpusBench
+from repro.ocr.corpus import make_scale
+from repro.ocr.engine import SimulatedOcrEngine
+
+PATTERN = r"REGEX:19\d\d"
+SIZES = [15, 30, 60, 120]
+
+
+@pytest.fixture(scope="module")
+def scale_benches():
+    ocr = SimulatedOcrEngine(seed=55)
+    benches = {}
+    for size in SIZES:
+        bench = CorpusBench(make_scale(size), ocr, workers=2)
+        bench.sfas()
+        benches[size] = bench
+    return benches
+
+
+def test_scalability(benchmark, scale_benches, report):
+    settings = [
+        ("MAP", "map", {}),
+        ("Staccato m=10 k=25", "staccato", {"m": 10, "k": 25}),
+        ("Staccato m=40 k=25", "staccato", {"m": 40, "k": 25}),
+        ("FullSFA", "fullsfa", {}),
+    ]
+    rows = []
+    runtimes = {}
+    for size in SIZES:
+        bench = scale_benches[size]
+        for label, approach, kwargs in settings:
+            _, elapsed = bench.search(PATTERN, approach, **kwargs)
+            runtimes[(label, size)] = elapsed
+            rows.append([size, label, f"{elapsed * 1e3:.1f}ms"])
+    report.table(
+        "Figure 10: filescan runtime vs dataset size (lines)",
+        ["lines", "approach", "runtime"],
+        rows,
+    )
+    largest = SIZES[-1]
+    # Ordering at the largest size: MAP < Staccato < FullSFA.
+    assert (
+        runtimes[("MAP", largest)]
+        < runtimes[("Staccato m=10 k=25", largest)]
+        < runtimes[("FullSFA", largest)]
+    )
+    # MAP is orders of magnitude below FullSFA.
+    assert runtimes[("FullSFA", largest)] > 50 * runtimes[("MAP", largest)]
+    # Roughly linear growth: 8x data must stay well below 8^2 = 64x time.
+    for label, _, _ in settings:
+        ratio = runtimes[(label, largest)] / max(runtimes[(label, SIZES[0])], 1e-6)
+        assert ratio < 40, (label, ratio)
+
+    bench = scale_benches[SIZES[0]]
+    benchmark.pedantic(
+        bench.search, args=(PATTERN, "fullsfa"), rounds=2, iterations=1
+    )

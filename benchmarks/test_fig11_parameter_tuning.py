@@ -1,0 +1,126 @@
+"""Figure 11 / Section 5.5: automated parameter tuning.
+
+The paper tunes (m, k) on a labeled sample with a 10% size constraint and
+a 0.9 recall constraint, comparing the binary-search tuner against an
+exhaustive sweep of the (m, k) surface.  We regenerate both surfaces
+(size and average recall) on a small grid and check the tuner's pick
+satisfies the constraints the exhaustive search validates.
+"""
+
+from repro.core.approximate import staccato_approximate
+from repro.core.tuning import (
+    dataset_size_model,
+    k_on_size_boundary,
+    sample_recall,
+    tune_parameters,
+)
+from repro.query.eval_sfa import match_probability
+from repro.query.like import compile_like
+from repro.sfa.serialize import blob_size
+
+QUERIES = [
+    "%President%",
+    "%Commission%",
+    "%Attorney%",
+    r"REGEX:Public Law (8|9)\d",
+    r"REGEX:U.S.C. 2\d\d\d",
+]
+SIZE_FRACTION = 0.10
+RECALL_TARGET = 0.9
+M_GRID = [5, 15, 30]
+K_GRID = [5, 15, 30]
+
+
+def _sample(ca_bench, count=20):
+    sfas = ca_bench.sfas()[:count]
+    texts = ca_bench.truth_texts[:count]
+    return sfas, texts
+
+
+def test_surfaces_and_tuner(benchmark, ca_bench, report):
+    sfas, texts = _sample(ca_bench)
+    lengths = [len(t) for t in texts]
+    budget = int(SIZE_FRACTION * sum(blob_size(sfa) for sfa in sfas))
+
+    surface_rows = []
+    recall_at = {}
+    for m in M_GRID:
+        for k in K_GRID:
+            recall = sample_recall(sfas, texts, QUERIES, m, k)
+            size = dataset_size_model(lengths, m, k)
+            recall_at[(m, k)] = recall
+            surface_rows.append(
+                [m, k, f"{size / 1024:.0f}kB",
+                 "over" if size > budget else "within",
+                 f"{recall:.2f}"]
+            )
+    report.table(
+        f"Figure 11: size and recall surfaces (budget {budget / 1024:.0f}kB)",
+        ["m", "k", "model size", "vs budget", "avg recall"],
+        surface_rows,
+    )
+    # Recall rises along both axes of the surface.
+    assert recall_at[(30, 30)] >= recall_at[(5, 5)] - 1e-9
+
+    result = tune_parameters(
+        sfas, texts, QUERIES,
+        size_fraction=SIZE_FRACTION,
+        recall_target=RECALL_TARGET,
+        m_step=5,
+    )
+    # Exhaustive check along the size boundary, as the paper does.
+    exhaustive = None
+    for m in range(5, max(s.num_edges for s in sfas) + 5, 5):
+        k = k_on_size_boundary(lengths, m, budget)
+        if k < 1:
+            continue
+        recall = sample_recall(sfas, texts, QUERIES, m, k)
+        if recall >= RECALL_TARGET:
+            exhaustive = (m, k, recall)
+            break
+    report.note(
+        "Figure 11 tuner",
+        f"tuner chose m={result.m} k={result.k} recall={result.recall:.2f} "
+        f"(feasible={result.feasible}); exhaustive boundary search found "
+        f"{exhaustive}",
+    )
+    if exhaustive is not None:
+        assert result.feasible
+        assert result.recall >= RECALL_TARGET
+    benchmark.pedantic(
+        staccato_approximate, args=(sfas[0], result.m, max(result.k, 1)),
+        rounds=2, iterations=1,
+    )
+
+
+def test_tuned_point_answers_queries(benchmark, ca_bench, report):
+    """The tuned representation really does answer the sample queries."""
+    sfas, texts = _sample(ca_bench, count=10)
+    result = tune_parameters(
+        sfas, texts, QUERIES, size_fraction=0.2, recall_target=0.8, m_step=5
+    )
+    k = max(result.k, 1)
+    approximations = [staccato_approximate(s, result.m, k) for s in sfas]
+    hits = 0
+    total = 0
+    for like in QUERIES:
+        query = compile_like(like)
+        for text, approx in zip(texts, approximations):
+            if not query.accepts(text):
+                continue
+            total += 1
+            if match_probability(approx, query) > 0:
+                hits += 1
+    measured = hits / total if total else 1.0
+    report.note(
+        "Figure 11 validation",
+        f"tuned (m={result.m}, k={k}) achieves measured recall "
+        f"{measured:.2f} on the sample (tuner predicted {result.recall:.2f})",
+    )
+    assert measured >= result.recall - 0.15
+    benchmark.pedantic(
+        match_probability,
+        args=(approximations[0], compile_like(QUERIES[0])),
+        rounds=3,
+        iterations=1,
+    )

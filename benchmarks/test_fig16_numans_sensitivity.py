@@ -1,0 +1,57 @@
+"""Figure 16: sensitivity of precision and recall to NumAns.
+
+Appendix H.3: at small NumAns precision is high everywhere (the top-
+ranked answers are correct); as NumAns grows recall climbs and then
+flattens near the truth size, while FullSFA keeps emitting ever-lower-
+probability answers so its precision decays; k-MAP simply runs out of
+answers.
+"""
+
+from repro.bench.workload import query_by_id
+
+NUM_ANS = [1, 5, 10, 25, 50, 100]
+
+
+def test_numans_sensitivity(benchmark, ca_bench, report):
+    query = query_by_id("CA4")
+    truth = ca_bench.truth(query.like)
+    rows = []
+    series = {}
+    for approach, kwargs in [
+        ("kmap", {"k": 25}),
+        ("staccato", {"m": 40, "k": 25}),
+        ("fullsfa", {}),
+    ]:
+        for num_ans in NUM_ANS:
+            result = ca_bench.run(query, approach, num_ans=num_ans, **kwargs)
+            series[(approach, num_ans)] = result
+            rows.append(
+                [
+                    approach,
+                    num_ans,
+                    f"{result.precision:.2f}",
+                    f"{result.recall:.2f}",
+                    result.metrics.retrieved,
+                ]
+            )
+    report.table(
+        f"Figure 16: precision/recall vs NumAns ('President', truth={len(truth)})",
+        ["approach", "NumAns", "precision", "recall", "#answers"],
+        rows,
+    )
+    for approach in ("kmap", "staccato", "fullsfa"):
+        # Recall is monotone in NumAns.
+        recalls = [series[(approach, n)].recall for n in NUM_ANS]
+        assert recalls == sorted(recalls), approach
+        # Top-1 answer is correct (precision 1 at NumAns=1).
+        assert series[(approach, 1)].precision == 1.0, approach
+    # FullSFA keeps answering and precision decays with NumAns.
+    assert (
+        series[("fullsfa", 100)].precision < series[("fullsfa", 10)].precision
+    )
+    # k-MAP runs out of answers: retrieved count saturates below 100.
+    assert series[("kmap", 100)].metrics.retrieved < 100
+    benchmark.pedantic(
+        ca_bench.run, args=(query, "kmap"), kwargs={"k": 25, "num_ans": 50},
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,80 @@
+"""Figure 17: impact of query length *and* wildcard complexity.
+
+Appendix H.4 extends Figure 7 with two regex families: an increasing
+number of simple ``\\d`` wildcards, and an increasing number of Kleene
+``(\\x)*`` wildcards.  Runtimes grow slowly for the first family; the
+Kleene family is the expensive one for FullSFA because composition-style
+evaluation drags large intermediate state.
+"""
+
+from repro.bench.workload import Query
+
+SIMPLE_WILDCARDS = [
+    r"REGEX:U.S.C. 2000",
+    r"REGEX:U.S.C. 2\d00",
+    r"REGEX:U.S.C. 2\d\d0",
+    r"REGEX:U.S.C. 2\d\d\d",
+]
+KLEENE_WILDCARDS = [
+    r"REGEX:SEC. 2",
+    r"REGEX:SEC(\x)*2",
+    r"REGEX:S(\x)*EC(\x)*2",
+    r"REGEX:S(\x)*E(\x)*C(\x)*2",
+]
+
+
+def _run_family(bench, patterns, family):
+    rows = []
+    for count, like in enumerate(patterns):
+        query = Query(f"{family}{count}", "CA", "regex", like)
+        for approach, kwargs in [
+            ("kmap", {"k": 25}),
+            ("staccato", {"m": 40, "k": 25}),
+            ("fullsfa", {}),
+        ]:
+            result = bench.run(query, approach, **kwargs)
+            rows.append(
+                [
+                    count,
+                    like.replace("REGEX:", ""),
+                    approach,
+                    f"{result.runtime_s * 1e3:.1f}ms",
+                    f"{result.recall:.2f}",
+                ]
+            )
+    return rows
+
+
+def test_simple_wildcards(benchmark, ca_bench, report):
+    rows = _run_family(ca_bench, SIMPLE_WILDCARDS, "d")
+    report.table(
+        "Figure 17(2): number of \\d wildcards vs runtime/recall",
+        ["#wild", "query", "approach", "runtime", "recall"],
+        rows,
+    )
+    benchmark.pedantic(
+        ca_bench.search, args=(SIMPLE_WILDCARDS[-1], "staccato"),
+        kwargs={"m": 40, "k": 25}, rounds=2, iterations=1,
+    )
+
+
+def test_kleene_wildcards(benchmark, ca_bench, report):
+    import time
+
+    rows = _run_family(ca_bench, KLEENE_WILDCARDS, "x")
+    report.table(
+        "Figure 17(3): number of (\\x)* wildcards vs runtime/recall",
+        ["#wild", "query", "approach", "runtime", "recall"],
+        rows,
+    )
+    # FullSFA: the 3-Kleene query costs more than the 0-Kleene query.
+    t = {}
+    for like in (KLEENE_WILDCARDS[0], KLEENE_WILDCARDS[-1]):
+        started = time.perf_counter()
+        ca_bench.search(like, "fullsfa")
+        t[like] = time.perf_counter() - started
+    assert t[KLEENE_WILDCARDS[-1] ] >= t[KLEENE_WILDCARDS[0]] * 0.8
+    benchmark.pedantic(
+        ca_bench.search, args=(KLEENE_WILDCARDS[1], "staccato"),
+        kwargs={"m": 40, "k": 25}, rounds=2, iterations=1,
+    )

@@ -1,0 +1,37 @@
+"""Figure 18: Staccato construction time vs the k parameter.
+
+Appendix H.5: construction time grows roughly linearly with k for a
+fixed SFA and m (with the caveat that the chunk structure may differ
+across k, so strict linearity is not guaranteed).
+"""
+
+import time
+
+from repro.core.approximate import staccato_approximate
+
+K_GRID = [1, 10, 25, 50]
+
+
+def test_construction_vs_k(benchmark, ca_bench, report):
+    sfa = max(ca_bench.sfas(), key=lambda s: s.num_edges)
+    rows = []
+    timings = {}
+    for m in (1, 10):
+        for k in K_GRID:
+            started = time.perf_counter()
+            staccato_approximate(sfa, m=m, k=k)
+            elapsed = time.perf_counter() - started
+            timings[(m, k)] = elapsed
+            rows.append([m, k, f"{elapsed * 1e3:.0f}ms"])
+    report.table(
+        f"Figure 18: construction time vs k (|E|={sfa.num_edges})",
+        ["m", "k", "time"],
+        rows,
+    )
+    # Sub-quadratic growth in k: 50x larger k costs far less than 2500x.
+    for m in (1, 10):
+        ratio = timings[(m, 50)] / max(timings[(m, 1)], 1e-5)
+        assert ratio < 250, (m, ratio)
+    benchmark.pedantic(
+        staccato_approximate, args=(sfa, 10, 25), rounds=2, iterations=1
+    )

@@ -1,0 +1,85 @@
+"""Figure 19: inverted-index construction and bulk-load times.
+
+Appendix H.6: per-SFA index construction time grows with k (roughly
+linearly) and jumps when high (m, k) settings flood the index with terms;
+bulk-loading the postings into the relational index table tracks the
+posting volume.
+"""
+
+import sqlite3
+import time
+
+from repro.automata.trie import DictionaryTrie
+from repro.indexing.inverted import build_sfa_postings
+
+from .conftest import DICTIONARY
+
+
+def test_index_construction_times(benchmark, ca_bench, report):
+    trie = DictionaryTrie(DICTIONARY)
+    rows = []
+    timings = {}
+    for m, k in [(1, 1), (1, 10), (10, 10), (10, 25), (40, 10), (40, 25)]:
+        graphs = ca_bench.staccato(m, k)
+        started = time.perf_counter()
+        total_postings = 0
+        for graph in graphs:
+            postings = build_sfa_postings(graph, trie)
+            total_postings += sum(len(p) for p in postings.values())
+        elapsed = time.perf_counter() - started
+        timings[(m, k)] = (elapsed, total_postings)
+        rows.append(
+            [m, k, f"{elapsed * 1e3:.0f}ms", total_postings]
+        )
+    report.table(
+        "Figure 19(A): index construction time and postings per (m, k)",
+        ["m", "k", "time", "postings"],
+        rows,
+    )
+    # More chunks/strings -> more postings.
+    assert timings[(40, 25)][1] >= timings[(1, 1)][1]
+    benchmark.pedantic(
+        build_sfa_postings,
+        args=(ca_bench.staccato(10, 10)[0], trie),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bulk_load_times(benchmark, ca_bench, report):
+    trie = DictionaryTrie(DICTIONARY)
+    rows_by_setting = {}
+    for m, k in [(10, 10), (40, 25)]:
+        rows = []
+        for line_id, graph in enumerate(ca_bench.staccato(m, k)):
+            for term, postings in build_sfa_postings(graph, trie).items():
+                rows.extend(
+                    (term, line_id, p.u, p.v, p.rank, p.offset)
+                    for p in postings
+                )
+        rows_by_setting[(m, k)] = rows
+
+    report_rows = []
+    for (m, k), rows in rows_by_setting.items():
+        conn = sqlite3.connect(":memory:")
+        conn.execute(
+            "CREATE TABLE InvertedIndex "
+            "(Term TEXT, DataKey INT, U INT, V INT, Rank INT, Offset INT)"
+        )
+        started = time.perf_counter()
+        with conn:
+            conn.executemany(
+                "INSERT INTO InvertedIndex VALUES (?, ?, ?, ?, ?, ?)", rows
+            )
+            conn.execute(
+                "CREATE INDEX idx_term ON InvertedIndex(Term)"
+            )
+        elapsed = time.perf_counter() - started
+        report_rows.append([m, k, len(rows), f"{elapsed * 1e3:.1f}ms"])
+        conn.close()
+    report.table(
+        "Figure 19(B): bulk index load times",
+        ["m", "k", "postings", "load time"],
+        report_rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Figure 20: index selectivity and index size vs (m, k).
+
+Appendix H.7: as m and k grow, the smoothing-tail strings seep into the
+retained representation, the anchor term appears in more and more lines
+(selectivity climbs toward 100%) and the index size grows with it --
+at which point the index stops being useful.
+"""
+
+from repro.automata.trie import DictionaryTrie
+from repro.indexing.inverted import build_sfa_postings
+from repro.indexing.postings import PostingIndex
+
+from .conftest import DICTIONARY
+
+TERM = "public"
+GRID = [(1, 1), (1, 25), (10, 10), (10, 50), (40, 25), (40, 50)]
+
+
+def _index_for(bench, m, k, trie):
+    index = PostingIndex()
+    for line_id, graph in enumerate(bench.staccato(m, k)):
+        index.merge_line(line_id, build_sfa_postings(graph, trie))
+    return index
+
+
+def test_selectivity_and_size(benchmark, ca_bench, report):
+    trie = DictionaryTrie(DICTIONARY)
+    num_lines = len(ca_bench.lines)
+    truth_selectivity = sum(
+        1 for text in ca_bench.truth_texts if TERM in text.lower()
+    ) / num_lines
+    rows = []
+    selectivities = {}
+    sizes = {}
+    for m, k in GRID:
+        index = _index_for(ca_bench, m, k, trie)
+        selectivity = index.selectivity(TERM, num_lines)
+        # Size proxy: total postings (the paper plots megabytes; each
+        # posting row is a fixed-width tuple).
+        size = index.num_postings()
+        selectivities[(m, k)] = selectivity
+        sizes[(m, k)] = size
+        rows.append([m, k, f"{selectivity:.1%}", size])
+    rows.append(["truth", "-", f"{truth_selectivity:.1%}", "-"])
+    report.table(
+        f"Figure 20: selectivity of '{TERM}' and index size vs (m, k)",
+        ["m", "k", "selectivity", "postings"],
+        rows,
+    )
+    # Selectivity and size are (weakly) monotone along the grid diagonal.
+    assert selectivities[(1, 1)] <= selectivities[(40, 50)] + 1e-9
+    assert sizes[(1, 1)] <= sizes[(40, 50)]
+    # At the low end the index is selective (close to the truth rate).
+    assert selectivities[(1, 1)] <= truth_selectivity + 0.25
+    benchmark.pedantic(
+        _index_for, args=(ca_bench, 10, 10, trie), rounds=1, iterations=1
+    )

@@ -1,0 +1,78 @@
+"""Figure 6: recall and runtime vs k for several m, keyword and regex.
+
+The paper's central sweep: for the keyword query k-MAP recall is already
+high and flat in k; for the regex query MAP recall is low, k-MAP rises
+slowly, and Staccato bridges smoothly to FullSFA as m grows, paying
+runtime for recall.  Series: k-MAP (m=1), Staccato m in {10, 40, Max},
+FullSFA reference line.
+"""
+
+from repro.bench.harness import MAX_CHUNKS
+from repro.bench.workload import query_by_id
+
+K_GRID = [1, 10, 25, 50]
+M_GRID = [1, 10, 40, MAX_CHUNKS]
+
+
+def _sweep(bench, query):
+    table = {}
+    for m in M_GRID:
+        for k in K_GRID:
+            approach = "kmap" if m == 1 else "staccato"
+            kwargs = {"k": k} if m == 1 else {"m": m, "k": k}
+            table[(m, k)] = bench.run(query, approach, **kwargs)
+    table["fullsfa"] = bench.run(query, "fullsfa")
+    return table
+
+
+def _report(report, title, table):
+    rows = []
+    for m in M_GRID:
+        label = "k-MAP" if m == 1 else f"m={m}"
+        for k in K_GRID:
+            result = table[(m, k)]
+            rows.append(
+                [label, k, f"{result.recall:.2f}",
+                 f"{result.runtime_s * 1e3:.1f}ms"]
+            )
+    full = table["fullsfa"]
+    rows.append(
+        ["FullSFA", "-", f"{full.recall:.2f}", f"{full.runtime_s * 1e3:.1f}ms"]
+    )
+    report.table(title, ["series", "k", "recall", "runtime"], rows)
+
+
+def test_keyword_sweep(benchmark, ca_bench, report):
+    query = query_by_id("CA4")  # 'President'
+    table = _sweep(ca_bench, query)
+    _report(report, "Figure 6(A): keyword 'President' recall/runtime", table)
+    # Keyword: k-MAP recall is already high at k=1 (paper: 0.8).
+    assert table[(1, 1)].recall >= 0.5
+    # FullSFA recall is perfect.
+    assert table["fullsfa"].recall == 1.0
+    benchmark.pedantic(
+        ca_bench.search, args=(query.like, "staccato"),
+        kwargs={"m": 10, "k": 25}, rounds=3, iterations=1,
+    )
+
+
+def test_regex_sweep(benchmark, ca_bench, report):
+    query = query_by_id("CA7")  # 'U.S.C. 2\d\d\d'
+    table = _sweep(ca_bench, query)
+    _report(report, "Figure 6(B): regex 'U.S.C. 2\\d\\d\\d' recall/runtime", table)
+    # MAP recall is low for the regex (paper: 0.28).
+    assert table[(1, 1)].recall <= 0.6
+    # Recall rises with m at fixed k (the knob works).
+    k = 25
+    assert table[(10, k)].recall >= table[(1, k)].recall - 1e-9
+    assert table[(MAX_CHUNKS, k)].recall >= table[(10, k)].recall - 1e-9
+    # And the full sweep tops out at FullSFA's perfect recall.
+    assert table["fullsfa"].recall == 1.0
+    # Runtime rises with m at fixed k (recall is paid for).
+    assert (
+        table[(MAX_CHUNKS, k)].runtime_s > table[(1, k)].runtime_s
+    )
+    benchmark.pedantic(
+        ca_bench.search, args=(query.like, "staccato"),
+        kwargs={"m": 40, "k": 25}, rounds=3, iterations=1,
+    )

@@ -1,0 +1,47 @@
+"""Figure 7: impact of keyword query length on runtime and recall.
+
+The paper finds runtimes grow polynomially-but-slowly with query length
+for every approach, while recall shows no clear trend.  We use corpus
+keywords of length 4 to 16.
+"""
+
+from repro.bench.workload import Query
+
+KEYWORDS = ["year", "General", "employment", "appropriation", "United States of"]
+
+
+def test_query_length(benchmark, ca_bench, report):
+    rows = []
+    runtimes = {}
+    for keyword in KEYWORDS:
+        query = Query(f"len{len(keyword)}", "CA", "keyword", f"%{keyword}%")
+        for approach, kwargs in [
+            ("kmap", {"k": 25}),
+            ("staccato", {"m": 40, "k": 25}),
+            ("fullsfa", {}),
+        ]:
+            result = ca_bench.run(query, approach, **kwargs)
+            runtimes[(len(keyword), approach)] = result.runtime_s
+            rows.append(
+                [
+                    len(keyword),
+                    f"%{keyword}%",
+                    approach,
+                    f"{result.runtime_s * 1e3:.1f}ms",
+                    f"{result.recall:.2f}",
+                ]
+            )
+    report.table(
+        "Figure 7: keyword length vs runtime and recall",
+        ["len", "query", "approach", "runtime", "recall"],
+        rows,
+    )
+    # Slow growth: 4x longer keyword must not cost 10x more.
+    for approach in ("kmap", "staccato", "fullsfa"):
+        short = runtimes[(4, approach)]
+        long = runtimes[(16, approach)]
+        assert long < 10 * max(short, 1e-5), approach
+    benchmark.pedantic(
+        ca_bench.search, args=("%appropriation%", "staccato"),
+        kwargs={"m": 40, "k": 25}, rounds=3, iterations=1,
+    )

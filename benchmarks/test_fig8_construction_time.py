@@ -1,0 +1,59 @@
+"""Figure 8: Staccato construction time vs SFA size and vs m.
+
+Panel A: fixing (m, k), construction time grows with the input SFA size n
+(nodes + edges).  Panel B: fixing the SFA, time vs m -- when m >= |E| the
+algorithm just prunes and returns instantly; below that, smaller m means
+more merge iterations and more time.
+"""
+
+import time
+
+from repro.core.approximate import staccato_approximate
+
+
+def test_panel_a_time_vs_sfa_size(benchmark, ca_bench, report):
+    sfas = sorted(ca_bench.sfas(), key=lambda s: s.num_nodes + s.num_edges)
+    picks = [sfas[0], sfas[len(sfas) // 3], sfas[2 * len(sfas) // 3], sfas[-1]]
+    rows = []
+    timings = []
+    for sfa in picks:
+        n = sfa.num_nodes + sfa.num_edges
+        started = time.perf_counter()
+        staccato_approximate(sfa, m=10, k=25)
+        elapsed = time.perf_counter() - started
+        timings.append((n, elapsed))
+        rows.append([n, f"{elapsed * 1e3:.0f}ms"])
+    report.table(
+        "Figure 8(A): construction time vs SFA size n (m=10, k=25)",
+        ["n", "time"],
+        rows,
+    )
+    assert timings[-1][1] >= timings[0][1] * 0.5  # grows (allow noise)
+    benchmark.pedantic(
+        staccato_approximate, args=(picks[1], 10, 25), rounds=2, iterations=1
+    )
+
+
+def test_panel_b_time_vs_m(benchmark, ca_bench, report):
+    sfa = max(ca_bench.sfas(), key=lambda s: s.num_edges)
+    edge_count = sfa.num_edges
+    rows = []
+    timings = {}
+    for m in (1, 5, 10, 20, 40, edge_count + 10):
+        started = time.perf_counter()
+        result = staccato_approximate(sfa, m=m, k=25)
+        elapsed = time.perf_counter() - started
+        timings[m] = elapsed
+        rows.append(
+            [m, result.num_edges, f"{elapsed * 1e3:.0f}ms"]
+        )
+    report.table(
+        f"Figure 8(B): construction time vs m (|E|={edge_count}, k=25)",
+        ["m", "chunks kept", "time"],
+        rows,
+    )
+    # m >= |E|: the algorithm picks each transition and terminates fast.
+    assert timings[edge_count + 10] < timings[1]
+    benchmark.pedantic(
+        staccato_approximate, args=(sfa, 20, 25), rounds=2, iterations=1
+    )

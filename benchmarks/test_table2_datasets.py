@@ -1,0 +1,40 @@
+"""Table 2: dataset statistics -- pages, SFAs, size as SFAs vs as text.
+
+The paper's Table 2 shows the core storage problem: 90 kB of ASCII text
+becomes 533 MB of SFAs (a ~6000x blowup).  Our simulated OCR produces the
+same *direction* at laptop scale: the SFA representation is orders of
+magnitude larger than the ground-truth text.
+"""
+
+from repro.sfa.serialize import blob_size, to_bytes
+
+from .conftest import bench_for
+
+
+def test_dataset_statistics(benchmark, ca_bench, lt_bench, db_bench, report):
+    rows = []
+    for name in ("CA", "LT", "DB"):
+        bench = bench_for(name, ca_bench, lt_bench, db_bench)
+        sfa_bytes = sum(blob_size(sfa) for sfa in bench.sfas())
+        text_bytes = sum(len(t) for t in bench.truth_texts)
+        rows.append(
+            [
+                name,
+                len(bench.dataset.documents),
+                len(bench.lines),
+                f"{sfa_bytes / 1024:.0f}kB",
+                f"{text_bytes / 1024:.1f}kB",
+                f"{sfa_bytes / text_bytes:.0f}x",
+            ]
+        )
+        assert sfa_bytes > 50 * text_bytes, name
+    report.table(
+        "Table 2: dataset statistics (paper: CA 533MB vs 90kB etc.)",
+        ["dataset", "docs", "SFAs", "as SFAs", "as text", "blowup"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: [to_bytes(sfa) for sfa in ca_bench.sfas()],
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,78 @@
+"""Table 4: precision/recall and runtimes, one keyword + one regex per
+dataset, all four approaches (paper parameters k=25, m=40, NumAns=100).
+
+The shape to reproduce: MAP/k-MAP have precision 1.0-ish but the lowest
+recall (dramatically so for regexes); FullSFA has recall ~1.0 but low
+precision and runtimes orders of magnitude above MAP; Staccato sits
+between on both quality and time.
+"""
+
+from repro.bench.workload import query_by_id
+
+from .conftest import bench_for
+
+PARAMS = {"m": 40, "k": 25}
+QUERIES = ["CA4", "CA7", "LT1", "LT6", "DB5", "DB6"]
+
+
+def test_table4(benchmark, ca_bench, lt_bench, db_bench, report):
+    quality_rows = []
+    runtime_rows = []
+    results = {}
+    for query_id in QUERIES:
+        query = query_by_id(query_id)
+        bench = bench_for(query.dataset, ca_bench, lt_bench, db_bench)
+        per_approach = {}
+        for approach, kwargs in [
+            ("map", {}),
+            ("kmap", {"k": PARAMS["k"]}),
+            ("fullsfa", {}),
+            ("staccato", dict(PARAMS)),
+        ]:
+            per_approach[approach] = bench.run(query, approach, **kwargs)
+        results[query_id] = per_approach
+        quality_rows.append(
+            [query_id]
+            + [
+                f"{per_approach[a].precision:.2f}/{per_approach[a].recall:.2f}"
+                for a in ("map", "kmap", "fullsfa", "staccato")
+            ]
+        )
+        runtime_rows.append(
+            [query_id]
+            + [
+                f"{per_approach[a].runtime_s:.3f}"
+                for a in ("map", "kmap", "fullsfa", "staccato")
+            ]
+        )
+    header = ["query", "MAP", "k-MAP", "FullSFA", "Staccato"]
+    report.table("Table 4 (P/R), k=25 m=40 NumAns=100", header, quality_rows)
+    report.table("Table 4 (runtime seconds)", header, runtime_rows)
+
+    for query_id, per_approach in results.items():
+        # FullSFA achieves (near-)perfect recall everywhere.
+        assert per_approach["fullsfa"].recall >= 0.99, query_id
+        # Runtimes: MAP < Staccato < FullSFA.
+        assert (
+            per_approach["map"].runtime_s < per_approach["staccato"].runtime_s
+        ), query_id
+        assert (
+            per_approach["staccato"].runtime_s
+            < per_approach["fullsfa"].runtime_s
+        ), query_id
+        # Staccato recall >= k-MAP recall (the point of chunking).
+        assert (
+            per_approach["staccato"].recall >= per_approach["kmap"].recall - 1e-9
+        ), query_id
+
+    # Regex queries: MAP must lose a large fraction of answers.
+    assert results["CA7"]["map"].recall < 0.7
+
+    query = query_by_id("DB5")
+    benchmark.pedantic(
+        db_bench.run,
+        args=(query, "staccato"),
+        kwargs=dict(PARAMS),
+        rounds=3,
+        iterations=1,
+    )

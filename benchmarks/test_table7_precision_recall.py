@@ -1,0 +1,77 @@
+"""Table 7 (+ Table 6): precision/recall of all 21 workload queries.
+
+The full workload at the paper's m=40, k=50, NumAns=100 setting.  The
+shapes that must hold in aggregate: FullSFA recall ~1 everywhere with the
+lowest precision; MAP precision ~1 with the lowest recall; Staccato
+recall above k-MAP's; regex queries hurt MAP much more than keywords.
+"""
+
+from repro.bench.workload import standard_workload
+
+from .conftest import TABLE78_PARAMS, bench_for
+
+APPROACHES = ("map", "kmap", "fullsfa", "staccato")
+
+
+def test_table6_ground_truth_counts(
+    benchmark, ca_bench, lt_bench, db_bench, report
+):
+    rows = []
+    for query in standard_workload():
+        bench = bench_for(query.dataset, ca_bench, lt_bench, db_bench)
+        truth = bench.truth(query.like)
+        rows.append([query.query_id, query.kind, query.like, len(truth)])
+    report.table(
+        "Table 6: workload queries and ground-truth counts",
+        ["id", "kind", "query", "# in truth"],
+        rows,
+    )
+    benchmark.pedantic(
+        ca_bench.truth, args=("%President%",), rounds=3, iterations=1
+    )
+
+
+def test_table7_precision_recall(benchmark, workload_results, report):
+    rows = []
+    for query in standard_workload():
+        cells = [query.query_id]
+        for approach in APPROACHES:
+            result = workload_results[(query.query_id, approach)]
+            cells.append(f"{result.precision:.2f}/{result.recall:.2f}")
+        rows.append(cells)
+    report.table(
+        f"Table 7: precision/recall, m={TABLE78_PARAMS['m']} "
+        f"k={TABLE78_PARAMS['k']} NumAns=100",
+        ["query", "MAP", "k-MAP", "FullSFA", "Staccato"],
+        rows,
+    )
+
+    def mean(metric, approach):
+        values = [
+            getattr(workload_results[(q.query_id, approach)], metric)
+            for q in standard_workload()
+        ]
+        return sum(values) / len(values)
+
+    # Aggregate shapes from the paper's Table 7.
+    assert mean("recall", "fullsfa") >= 0.99
+    assert mean("recall", "map") <= mean("recall", "kmap") + 1e-9
+    assert mean("recall", "kmap") <= mean("recall", "staccato") + 1e-9
+    assert mean("recall", "staccato") <= mean("recall", "fullsfa") + 1e-9
+    assert mean("precision", "fullsfa") < mean("precision", "map")
+
+    # Regexes hurt MAP more than keywords do.
+    regex_recall = [
+        workload_results[(q.query_id, "map")].recall
+        for q in standard_workload()
+        if q.is_regex
+    ]
+    keyword_recall = [
+        workload_results[(q.query_id, "map")].recall
+        for q in standard_workload()
+        if not q.is_regex
+    ]
+    assert sum(regex_recall) / len(regex_recall) < sum(keyword_recall) / len(
+        keyword_recall
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+"""Table 8: runtimes of all 21 workload queries, all four approaches.
+
+The paper's Table 8 shape: MAP in fractions of a second, k-MAP a small
+multiple above, Staccato one to two orders of magnitude above MAP, and
+FullSFA two to four orders above MAP (with regex/Kleene queries the most
+expensive FullSFA entries).
+"""
+
+from repro.bench.workload import standard_workload
+
+from .conftest import TABLE78_PARAMS
+
+APPROACHES = ("map", "kmap", "fullsfa", "staccato")
+
+
+def test_table8_runtimes(benchmark, workload_results, report):
+    rows = []
+    sums = dict.fromkeys(APPROACHES, 0.0)
+    for query in standard_workload():
+        cells = [query.query_id]
+        for approach in APPROACHES:
+            result = workload_results[(query.query_id, approach)]
+            sums[approach] += result.runtime_s
+            cells.append(f"{result.runtime_s:.3f}")
+        rows.append(cells)
+    rows.append(
+        ["TOTAL"] + [f"{sums[a]:.2f}" for a in APPROACHES]
+    )
+    report.table(
+        f"Table 8: runtimes in seconds, m={TABLE78_PARAMS['m']} "
+        f"k={TABLE78_PARAMS['k']}",
+        ["query", "MAP", "k-MAP", "FullSFA", "Staccato"],
+        rows,
+    )
+    # Aggregate orderings (per-query noise is possible at this scale).
+    assert sums["map"] < sums["kmap"] < sums["staccato"] < sums["fullsfa"]
+    # FullSFA is orders of magnitude above MAP (paper: up to ~1000x).
+    assert sums["fullsfa"] > 100 * sums["map"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

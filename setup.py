@@ -1,0 +1,7 @@
+"""Legacy setup shim: the environment has setuptools but no `wheel`
+package, so editable installs must go through `setup.py develop`
+(``pip install -e . --no-use-pep517 --no-build-isolation``)."""
+
+from setuptools import setup
+
+setup()

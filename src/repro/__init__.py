@@ -1,0 +1,16 @@
+"""Staccato: probabilistic management of OCR data using an RDBMS.
+
+A full reproduction of Kumar & Re (VLDB 2011).  The public API is organized
+in subpackages:
+
+* :mod:`repro.sfa`       -- stochastic finite automata (the OCR data model)
+* :mod:`repro.automata`  -- regex / NFA / DFA / dictionary-trie machinery
+* :mod:`repro.ocr`       -- a simulated OCR engine and synthetic corpora
+* :mod:`repro.core`      -- the Staccato approximation (the contribution)
+* :mod:`repro.query`     -- probabilistic query evaluation
+* :mod:`repro.indexing`  -- dictionary-based inverted indexing over SFAs
+* :mod:`repro.db`        -- the RDBMS integration (SQLite substrate)
+* :mod:`repro.bench`     -- metrics, workloads and the experiment harness
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,41 @@
+"""Query automata: the paper's pattern language, NFAs, DFAs and tries."""
+
+from .dfa import DEAD, Dfa, MaterializedDfa, dfa_for_pattern, minimize
+from .nfa import CharMatcher, Nfa, compile_pattern
+from .regex import (
+    Alternation,
+    AnyChar,
+    Concat,
+    Digit,
+    Epsilon,
+    Literal,
+    Node,
+    RegexError,
+    Star,
+    literal_prefix,
+    parse,
+)
+from .trie import DictionaryTrie
+
+__all__ = [
+    "DEAD",
+    "Dfa",
+    "MaterializedDfa",
+    "dfa_for_pattern",
+    "minimize",
+    "CharMatcher",
+    "Nfa",
+    "compile_pattern",
+    "Alternation",
+    "AnyChar",
+    "Concat",
+    "Digit",
+    "Epsilon",
+    "Literal",
+    "Node",
+    "RegexError",
+    "Star",
+    "literal_prefix",
+    "parse",
+    "DictionaryTrie",
+]

@@ -1,0 +1,227 @@
+"""Deterministic automata via (lazy) subset construction.
+
+Queries are evaluated as DFAs over SFA data (paper Section 2.2): the
+evaluation DP is cubic in the number of DFA states, so we keep the DFA
+small two ways:
+
+* **lazy construction** -- subsets are materialized only for characters
+  actually seen in the data;
+* **absorbing accept** -- for the ``LIKE '%p%'`` (match-anywhere)
+  semantics, acceptance of a factor is monotone, so every accepting
+  subset collapses into one absorbing accept state.
+
+A materialized + minimized form is provided for the cost-model benches
+(``q`` in Table 1) and for equivalence testing.
+"""
+
+from __future__ import annotations
+
+from .nfa import Nfa, compile_pattern
+from .regex import Node
+
+__all__ = ["Dfa", "MaterializedDfa", "dfa_for_pattern", "minimize"]
+
+DEAD = -1
+_ACCEPT = 0  # the absorbing accept state id (match-anywhere mode)
+
+
+class Dfa:
+    """A lazily-determinized view of an NFA.
+
+    ``match_anywhere=True`` gives the ``Sigma* L Sigma*`` semantics the
+    paper's LIKE predicate uses: matching restarts at every offset and
+    acceptance absorbs.  ``match_anywhere=False`` gives plain whole-string
+    acceptance.
+    """
+
+    def __init__(self, nfa: Nfa, match_anywhere: bool = True) -> None:
+        self._nfa = nfa
+        self._match_anywhere = match_anywhere
+        self._start_closure = nfa.epsilon_closure(frozenset((nfa.start,)))
+        self._subsets: list[frozenset[int] | None] = []
+        self._ids: dict[frozenset[int], int] = {}
+        self._accepting: set[int] = set()
+        self._cache: dict[tuple[int, str], int] = {}
+        if match_anywhere:
+            self._subsets.append(None)  # id 0: the absorbing accept state
+            self._accepting.add(_ACCEPT)
+        self.start = self._intern(self._start_closure)
+
+    # ------------------------------------------------------------------
+    def _is_nfa_accepting(self, subset: frozenset[int]) -> bool:
+        return self._nfa.accept in subset
+
+    def _intern(self, subset: frozenset[int]) -> int:
+        if self._match_anywhere and self._is_nfa_accepting(subset):
+            return _ACCEPT
+        existing = self._ids.get(subset)
+        if existing is not None:
+            return existing
+        state = len(self._subsets)
+        self._subsets.append(subset)
+        self._ids[subset] = state
+        if not self._match_anywhere and self._is_nfa_accepting(subset):
+            self._accepting.add(state)
+        return state
+
+    # ------------------------------------------------------------------
+    def step(self, state: int, ch: str) -> int:
+        """The transition function; ``DEAD`` is a sink for dead ends."""
+        if state == DEAD:
+            return DEAD
+        if self._match_anywhere and state == _ACCEPT:
+            return _ACCEPT
+        key = (state, ch)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        subset = self._subsets[state]
+        assert subset is not None
+        moved = self._nfa.move(subset, ch)
+        nxt_subset = self._nfa.epsilon_closure(moved)
+        if self._match_anywhere:
+            nxt_subset = nxt_subset | self._start_closure
+        nxt = self._intern(nxt_subset) if nxt_subset else DEAD
+        if self._match_anywhere and nxt == DEAD:
+            # The restart closure is always live in match-anywhere mode.
+            nxt = self._intern(self._start_closure)
+        self._cache[key] = nxt
+        return nxt
+
+    def step_string(self, state: int, text: str) -> int:
+        """Run the DFA over ``text`` from ``state``."""
+        for ch in text:
+            state = self.step(state, ch)
+            if state == DEAD:
+                return DEAD
+            if self._match_anywhere and state == _ACCEPT:
+                return _ACCEPT
+        return state
+
+    def is_accepting(self, state: int) -> bool:
+        """True for accepting states (absorbing in match-anywhere mode)."""
+        return state in self._accepting
+
+    def accepts(self, text: str) -> bool:
+        """Whole-run acceptance of ``text`` from the start state."""
+        return self.is_accepting(self.step_string(self.start, text))
+
+    @property
+    def num_states(self) -> int:
+        """Number of states materialized so far (the lazy ``q``)."""
+        return len(self._subsets)
+
+    @property
+    def match_anywhere(self) -> bool:
+        """Whether this DFA uses substring (Sigma* L Sigma*) semantics."""
+        return self._match_anywhere
+
+    # ------------------------------------------------------------------
+    def materialize(self, alphabet: str) -> "MaterializedDfa":
+        """Force every transition over ``alphabet`` and return a complete
+        transition-table DFA (plus a dead sink)."""
+        pending = [self.start]
+        seen = {self.start}
+        while pending:
+            state = pending.pop()
+            for ch in alphabet:
+                nxt = self.step(state, ch)
+                if nxt != DEAD and nxt not in seen:
+                    seen.add(nxt)
+                    pending.append(nxt)
+        states = sorted(seen)
+        index = {s: i for i, s in enumerate(states)}
+        dead = len(states)
+        table = [[dead] * len(alphabet) for _ in range(dead + 1)]
+        for state in states:
+            for j, ch in enumerate(alphabet):
+                nxt = self.step(state, ch)
+                table[index[state]][j] = dead if nxt == DEAD else index[nxt]
+        accepting = frozenset(
+            index[s] for s in states if self.is_accepting(s)
+        )
+        return MaterializedDfa(
+            alphabet=alphabet,
+            table=table,
+            start=index[self.start],
+            accepting=accepting,
+            dead=dead,
+        )
+
+
+class MaterializedDfa:
+    """A complete transition-table DFA over an explicit alphabet."""
+
+    def __init__(
+        self,
+        alphabet: str,
+        table: list[list[int]],
+        start: int,
+        accepting: frozenset[int],
+        dead: int,
+    ) -> None:
+        self.alphabet = alphabet
+        self._index = {ch: i for i, ch in enumerate(alphabet)}
+        self.table = table
+        self.start = start
+        self.accepting = accepting
+        self.dead = dead
+
+    @property
+    def num_states(self) -> int:
+        """Total states including the dead sink."""
+        return len(self.table)
+
+    def step(self, state: int, ch: str) -> int:
+        """Table-lookup transition; unknown characters go dead."""
+        col = self._index.get(ch)
+        if col is None:
+            return self.dead
+        return self.table[state][col]
+
+    def is_accepting(self, state: int) -> bool:
+        """True for accepting states."""
+        return state in self.accepting
+
+    def accepts(self, text: str) -> bool:
+        """Whole-string acceptance over the materialized table."""
+        state = self.start
+        for ch in text:
+            state = self.step(state, ch)
+        return state in self.accepting
+
+
+def minimize(dfa: MaterializedDfa) -> MaterializedDfa:
+    """Moore partition-refinement minimization of a materialized DFA."""
+    n = dfa.num_states
+    # Initial partition: accepting vs non-accepting.
+    block = [1 if s in dfa.accepting else 0 for s in range(n)]
+    while True:
+        signatures: dict[tuple[int, ...], int] = {}
+        new_block = [0] * n
+        for state in range(n):
+            signature = (block[state],) + tuple(
+                block[dfa.table[state][j]] for j in range(len(dfa.alphabet))
+            )
+            new_block[state] = signatures.setdefault(signature, len(signatures))
+        if new_block == block:
+            break
+        block = new_block
+    num_blocks = max(block) + 1
+    table = [[0] * len(dfa.alphabet) for _ in range(num_blocks)]
+    for state in range(n):
+        for j in range(len(dfa.alphabet)):
+            table[block[state]][j] = block[dfa.table[state][j]]
+    accepting = frozenset(block[s] for s in dfa.accepting)
+    return MaterializedDfa(
+        alphabet=dfa.alphabet,
+        table=table,
+        start=block[dfa.start],
+        accepting=accepting,
+        dead=block[dfa.dead],
+    )
+
+
+def dfa_for_pattern(pattern: str | Node, match_anywhere: bool = True) -> Dfa:
+    """Compile a query pattern straight to its (lazy) DFA."""
+    return Dfa(compile_pattern(pattern), match_anywhere=match_anywhere)

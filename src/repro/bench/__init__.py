@@ -1,0 +1,22 @@
+"""Experiment harness: metrics, workload, runners and reporting."""
+
+from .harness import MAX_CHUNKS, CorpusBench, ExperimentResult
+from .metrics import QualityMetrics, evaluate_answers
+from .report import format_series, format_table, print_series, print_table
+from .workload import Query, queries_for, query_by_id, standard_workload
+
+__all__ = [
+    "MAX_CHUNKS",
+    "CorpusBench",
+    "ExperimentResult",
+    "QualityMetrics",
+    "evaluate_answers",
+    "format_series",
+    "format_table",
+    "print_series",
+    "print_table",
+    "Query",
+    "queries_for",
+    "query_by_id",
+    "standard_workload",
+]

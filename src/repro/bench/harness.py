@@ -1,0 +1,204 @@
+"""The experiment harness: build representations once, sweep queries.
+
+The paper's experiments hold a dataset fixed and sweep approaches and
+parameters (m, k, NumAns).  Rebuilding a database per parameter point
+would drown the measurement in construction time, so ``CorpusBench``
+keeps an in-memory corpus with per-(m, k) representation caches;
+construction can fan out over a process pool (the paper used Condor for
+the same reason -- construction is embarrassingly parallel across SFAs).
+
+Query runtimes reported by the harness cover *query evaluation only*
+(the data is already stored), matching the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.approximate import prune_edges_to_k, staccato_approximate
+from ..core.kmap import build_kmap
+from ..ocr.corpus import Dataset
+from ..ocr.engine import SimulatedOcrEngine
+from ..query.answers import Answer, rank_answers
+from ..query.eval_sfa import match_probability
+from ..query.eval_strings import match_probability_strings
+from ..query.like import compile_like
+from ..sfa.model import Sfa
+from .metrics import QualityMetrics, evaluate_answers
+from .workload import Query
+
+__all__ = ["ExperimentResult", "CorpusBench", "MAX_CHUNKS"]
+
+#: Sentinel for the paper's ``m = Max`` setting (one chunk per edge).
+MAX_CHUNKS = "max"
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """One (query, approach, parameters) measurement."""
+
+    query_id: str
+    dataset: str
+    approach: str
+    m: int | str | None
+    k: int | None
+    num_ans: int | None
+    metrics: QualityMetrics
+    runtime_s: float
+
+    @property
+    def precision(self) -> float:
+        """Shortcut to ``metrics.precision``."""
+        return self.metrics.precision
+
+    @property
+    def recall(self) -> float:
+        """Shortcut to ``metrics.recall``."""
+        return self.metrics.recall
+
+    @property
+    def f1(self) -> float:
+        """Shortcut to ``metrics.f1``."""
+        return self.metrics.f1
+
+
+def _staccato_task(args: tuple[Sfa, int | str, int]) -> Sfa:
+    sfa, m, k = args
+    if m == MAX_CHUNKS:
+        return prune_edges_to_k(sfa, k)
+    assert isinstance(m, int)
+    return staccato_approximate(sfa, m, k)
+
+
+class CorpusBench:
+    """In-memory corpus with cached per-approach representations."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        ocr: SimulatedOcrEngine | None = None,
+        workers: int | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.ocr = ocr or SimulatedOcrEngine()
+        self.workers = workers
+        self.lines = dataset.lines()
+        self.truth_texts = [text for _, _, _, text in self.lines]
+        self._sfas: list[Sfa] | None = None
+        self._kmap_cache: dict[int, list[list[tuple[str, float]]]] = {}
+        self._staccato_cache: dict[tuple[int | str, int], list[Sfa]] = {}
+
+    # ------------------------------------------------------------------
+    def sfas(self) -> list[Sfa]:
+        """All line SFAs (built lazily, once)."""
+        if self._sfas is None:
+            self._sfas = [
+                self.ocr.recognize_line(text, line_seed=(doc_id, line_no))
+                for _, doc_id, line_no, text in self.lines
+            ]
+        return self._sfas
+
+    def kmap(self, k: int) -> list[list[tuple[str, float]]]:
+        """Per-line k-MAP string lists."""
+        cached = self._kmap_cache.get(k)
+        if cached is None:
+            cached = [list(build_kmap(sfa, k).strings) for sfa in self.sfas()]
+            self._kmap_cache[k] = cached
+        return cached
+
+    def staccato(self, m: int | str, k: int) -> list[Sfa]:
+        """Per-line Staccato chunk graphs for one (m, k) point."""
+        key = (m, k)
+        cached = self._staccato_cache.get(key)
+        if cached is None:
+            tasks = [(sfa, m, k) for sfa in self.sfas()]
+            if self.workers and self.workers > 1:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    cached = list(pool.map(_staccato_task, tasks, chunksize=8))
+            else:
+                cached = [_staccato_task(task) for task in tasks]
+            self._staccato_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def truth(self, like: str) -> set[int]:
+        """Ground-truth matching line ids for a LIKE/REGEX query."""
+        query = compile_like(like)
+        return {
+            line_id
+            for (line_id, _, _, _), text in zip(self.lines, self.truth_texts)
+            if query.accepts(text)
+        }
+
+    def search(
+        self,
+        like: str,
+        approach: str,
+        m: int | str | None = None,
+        k: int | None = None,
+        num_ans: int | None = 100,
+    ) -> tuple[list[Answer], float]:
+        """Evaluate a query; returns (ranked answers, runtime seconds).
+
+        The timer covers evaluation over the stored representation only.
+        """
+        query = compile_like(like)
+        if approach == "map":
+            strings = self.kmap(1)
+        elif approach == "kmap":
+            assert k is not None, "k-MAP needs k"
+            strings = self.kmap(k)
+        elif approach == "fullsfa":
+            graphs = self.sfas()
+        elif approach == "staccato":
+            assert m is not None and k is not None, "Staccato needs m and k"
+            graphs = self.staccato(m, k)
+        else:
+            raise ValueError(f"unknown approach {approach!r}")
+
+        started = time.perf_counter()
+        answers = []
+        if approach in ("map", "kmap"):
+            for (line_id, doc_id, line_no, _), line_strings in zip(
+                self.lines, strings
+            ):
+                prob = match_probability_strings(line_strings, query)
+                if prob > 0.0:
+                    answers.append(Answer(line_id, doc_id, line_no, prob))
+        else:
+            for (line_id, doc_id, line_no, _), graph in zip(self.lines, graphs):
+                prob = match_probability(graph, query)
+                if prob > 0.0:
+                    answers.append(Answer(line_id, doc_id, line_no, prob))
+        ranked = rank_answers(answers, num_ans=num_ans)
+        elapsed = time.perf_counter() - started
+        return ranked, elapsed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: Query,
+        approach: str,
+        m: int | str | None = None,
+        k: int | None = None,
+        num_ans: int | None = 100,
+    ) -> ExperimentResult:
+        """Run one workload query and score it against ground truth."""
+        answers, elapsed = self.search(
+            query.like, approach, m=m, k=k, num_ans=num_ans
+        )
+        metrics = evaluate_answers(
+            {a.line_id for a in answers}, self.truth(query.like)
+        )
+        return ExperimentResult(
+            query_id=query.query_id,
+            dataset=query.dataset,
+            approach=approach,
+            m=m,
+            k=k,
+            num_ans=num_ans,
+            metrics=metrics,
+            runtime_s=elapsed,
+        )

@@ -1,0 +1,49 @@
+"""Answer-quality metrics: precision, recall, F-1 (paper Section 5).
+
+The paper measures retrieval quality of the ranked, NumAns-truncated
+answer set against manually labeled ground truth.  Precision = fraction
+of returned lines that are truly relevant; recall = fraction of truly
+relevant lines returned; F-1 their harmonic mean (Appendix H.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QualityMetrics", "evaluate_answers"]
+
+
+@dataclass(frozen=True, slots=True)
+class QualityMetrics:
+    """Retrieval quality of one answer set vs ground truth."""
+
+    precision: float
+    recall: float
+    f1: float
+    retrieved: int
+    relevant: int
+    hits: int
+
+
+def evaluate_answers(retrieved_ids: set[int], truth_ids: set[int]) -> QualityMetrics:
+    """Score a retrieved id set against the ground-truth id set.
+
+    Degenerate cases follow the paper's reporting: an empty result set
+    has precision 0 (Table 7 reports 0.00/0.00 for DB2 under MAP); an
+    empty truth set makes recall 1 by convention.
+    """
+    hits = len(retrieved_ids & truth_ids)
+    precision = hits / len(retrieved_ids) if retrieved_ids else 0.0
+    recall = hits / len(truth_ids) if truth_ids else 1.0
+    if precision + recall > 0.0:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    else:
+        f1 = 0.0
+    return QualityMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        retrieved=len(retrieved_ids),
+        relevant=len(truth_ids),
+        hits=hits,
+    )

@@ -1,0 +1,42 @@
+"""Plain-text reporting: the tables and series the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "print_table", "print_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """One named data series, as ``name: (x -> y), ...`` lines."""
+    points = ", ".join(f"{x}->{y}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Print a titled fixed-width table."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def print_series(title: str, series: dict[str, tuple[Sequence[object], Sequence[object]]]) -> None:
+    """Print a titled group of named series."""
+    print(f"\n== {title} ==")
+    for name, (xs, ys) in series.items():
+        print(format_series(name, xs, ys))

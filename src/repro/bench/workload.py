@@ -1,0 +1,75 @@
+"""The evaluation workload: 21 queries over three corpora (paper Table 6).
+
+Seven queries per dataset -- five keywords and two regular expressions --
+formulated (per the paper) "based on discussions with practitioners ...
+who work with real-world OCR data".  Our corpora are synthetic, so the
+queries target the same vocabulary roles: legal terms and citation codes
+in CA, names and date patterns in LT, systems-paper terms in DB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Query", "standard_workload", "queries_for", "query_by_id"]
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """One workload query: a LIKE/REGEX pattern against one dataset."""
+
+    query_id: str
+    dataset: str
+    kind: str  # "keyword" | "regex"
+    like: str
+
+    @property
+    def is_regex(self) -> bool:
+        """True for the workload's regular-expression queries."""
+        return self.kind == "regex"
+
+
+_WORKLOAD = [
+    # Congress Acts (CA): paper queries 1-7.
+    Query("CA1", "CA", "keyword", "%Attorney%"),
+    Query("CA2", "CA", "keyword", "%Commission%"),
+    Query("CA3", "CA", "keyword", "%employment%"),
+    Query("CA4", "CA", "keyword", "%President%"),
+    Query("CA5", "CA", "keyword", "%United States%"),
+    Query("CA6", "CA", "regex", r"REGEX:Public Law (8|9)\d"),
+    Query("CA7", "CA", "regex", r"REGEX:U.S.C. 2\d\d\d"),
+    # Database papers (DB).
+    Query("DB1", "DB", "keyword", "%accuracy%"),
+    Query("DB2", "DB", "keyword", "%confidence%"),
+    Query("DB3", "DB", "keyword", "%database%"),
+    Query("DB4", "DB", "keyword", "%lineage%"),
+    Query("DB5", "DB", "keyword", "%Trio%"),
+    Query("DB6", "DB", "regex", r"REGEX:Sec(\x)*\d"),
+    Query("DB7", "DB", "regex", r"REGEX:\x\x\x\d\d"),
+    # English literature (LT).
+    Query("LT1", "LT", "keyword", "%Brinkmann%"),
+    Query("LT2", "LT", "keyword", "%Hitler%"),
+    Query("LT3", "LT", "keyword", "%Jonathan%"),
+    Query("LT4", "LT", "keyword", "%Kerouac%"),
+    Query("LT5", "LT", "keyword", "%Third Reich%"),
+    Query("LT6", "LT", "regex", r"REGEX:19\d\d, \d\d"),
+    Query("LT7", "LT", "regex", r"REGEX:spontan(\x)*s"),
+]
+
+
+def standard_workload() -> list[Query]:
+    """All 21 queries (Table 6)."""
+    return list(_WORKLOAD)
+
+
+def queries_for(dataset: str) -> list[Query]:
+    """The seven queries of one dataset."""
+    return [q for q in _WORKLOAD if q.dataset == dataset]
+
+
+def query_by_id(query_id: str) -> Query:
+    """Look one workload query up by its Table 6 id (e.g. 'CA7')."""
+    for query in _WORKLOAD:
+        if query.query_id == query_id:
+            return query
+    raise KeyError(f"no workload query {query_id!r}")

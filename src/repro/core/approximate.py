@@ -1,0 +1,128 @@
+"""The Staccato construction: greedy merge heuristic (paper Algorithm 2).
+
+Given a line SFA and the knobs ``m`` (maximum number of edges = chunks in
+the result) and ``k`` (strings kept per chunk), repeatedly:
+
+1. enumerate candidate regions seeded by node triples ``{x, y, z}`` with
+   edges ``(x, y), (y, z)``;
+2. grow each seed into a valid region with :func:`find_min_sfa`;
+3. score each candidate by the probability mass the collapse would retain;
+4. apply the best collapse;
+
+until at most ``m`` edges remain.  Scoring is incremental: with forward
+mass ``F`` and backward mass ``B`` computed once per iteration, collapsing
+region ``R`` changes the total retained mass by exactly
+``F[entry] * B[exit] * (mass(top-k of R) - mass(R))``, because every path
+touching the region runs entry-to-exit inside it.  Candidate regions are
+cached across iterations and invalidated only when a collapse touches
+their nodes (the paper's "simple optimization").
+"""
+
+from __future__ import annotations
+
+from ..sfa.model import Sfa
+from ..sfa.ops import backward_mass, forward_mass, topological_order
+from .chunks import Region, collapse, find_min_sfa, region_mass, region_top_k
+from .staccato_doc import StaccatoDoc
+
+__all__ = ["prune_edges_to_k", "staccato_approximate", "build_staccato"]
+
+
+def prune_edges_to_k(sfa: Sfa, k: int) -> Sfa:
+    """Retain only the k most probable emissions on every edge.
+
+    This is the algorithm's standing invariant ("each edge emits at most k
+    strings"); ties are broken deterministically by the emission ordering.
+    """
+    result = sfa.copy()
+    for u, v in result.edges:
+        emissions = result.emissions(u, v)
+        if len(emissions) > k:
+            result.replace_emissions(u, v, emissions[:k])
+    return result
+
+
+def _candidate_regions(
+    sfa: Sfa,
+    topo_index: dict[int, int],
+    region_cache: dict[tuple[int, int, int], Region],
+) -> dict[frozenset[int], Region]:
+    """All distinct regions grown from adjacent-edge node triples.
+
+    ``region_cache`` carries triple -> region results across greedy
+    iterations; entries touching a collapsed region are evicted by the
+    caller, so surviving entries are still correct (a collapse elsewhere
+    does not change reachability among untouched nodes).
+    """
+    regions: dict[frozenset[int], Region] = {}
+    for middle in sfa.nodes:
+        if middle in (sfa.start, sfa.final):
+            continue
+        for pred in set(sfa.pred(middle)):
+            for succ in set(sfa.succ(middle)):
+                triple = (pred, middle, succ)
+                region = region_cache.get(triple)
+                if region is None:
+                    region = find_min_sfa(sfa, {pred, middle, succ}, topo_index)
+                    region_cache[triple] = region
+                regions.setdefault(region.nodes, region)
+    return regions
+
+
+def staccato_approximate(sfa: Sfa, m: int, k: int) -> Sfa:
+    """Build the Staccato approximation of ``sfa`` with parameters (m, k).
+
+    ``m = 1`` degenerates to k-MAP (one chunk holding the k best strings
+    of the whole line); ``m >= |E|`` keeps the structure and just prunes
+    every edge to its k best emissions (paper Section 5.2).  The result
+    generally retains less than the full probability mass.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    work = prune_edges_to_k(sfa, k)
+    score_cache: dict[frozenset[int], float] = {}
+    region_cache: dict[tuple[int, int, int], Region] = {}
+    while work.num_edges > m:
+        topo_index = {
+            node: i for i, node in enumerate(topological_order(work))
+        }
+        candidates = _candidate_regions(work, topo_index, region_cache)
+        if not candidates:
+            break
+        forward = forward_mass(work)
+        backward = backward_mass(work)
+        best_region: Region | None = None
+        best_delta = float("-inf")
+        for nodes, region in sorted(
+            candidates.items(), key=lambda item: sorted(item[0])
+        ):
+            loss = score_cache.get(nodes)
+            if loss is None:
+                kept = sum(p for _, p in region_top_k(work, region, k))
+                loss = kept - region_mass(work, region)
+                score_cache[nodes] = loss
+            delta = forward[region.entry] * backward[region.exit] * loss
+            if delta > best_delta:
+                best_delta = delta
+                best_region = region
+        assert best_region is not None
+        work = collapse(work, best_region, k)
+        touched = best_region.nodes
+        score_cache = {
+            nodes: loss
+            for nodes, loss in score_cache.items()
+            if not (nodes & touched)
+        }
+        region_cache = {
+            triple: region
+            for triple, region in region_cache.items()
+            if not (region.nodes & touched)
+        }
+    return work
+
+
+def build_staccato(sfa: Sfa, m: int, k: int) -> StaccatoDoc:
+    """Convenience wrapper returning the chunk-graph document object."""
+    return StaccatoDoc(sfa=staccato_approximate(sfa, m, k), m=m, k=k)

@@ -1,0 +1,159 @@
+"""FindMinSFA and Collapse: the chunk-forming operations (paper Alg. 1).
+
+Staccato approximates an SFA by repeatedly *merging* a set of transitions
+into a single edge.  Merging is only sound when the merged node set forms
+a valid sub-SFA -- a single-entry / single-exit region -- otherwise new
+strings not present in the original model appear (the "bad merge" of
+paper Figure 3(C)).  ``find_min_sfa`` grows a seed node set into the
+minimal enclosing region using least-common-ancestor / greatest-common-
+descendant steps plus boundary-edge closure; ``collapse`` replaces that
+region with one edge carrying the region's top-k strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sfa.model import Sfa, SfaError
+from ..sfa.ops import ancestors, descendants, topological_order
+from ..sfa.paths import k_best_between
+
+__all__ = ["Region", "find_min_sfa", "collapse", "region_mass", "region_top_k"]
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A single-entry/single-exit region of an SFA.
+
+    ``nodes`` includes ``entry`` and ``exit``; every entry-to-exit path of
+    the SFA lies wholly inside ``nodes``.
+    """
+
+    nodes: frozenset[int]
+    entry: int
+    exit: int
+
+    @property
+    def internal(self) -> frozenset[int]:
+        """Region nodes other than the entry and exit."""
+        return self.nodes - {self.entry, self.exit}
+
+
+def _least_common_ancestor(
+    sfa: Sfa, nodes: set[int], topo_index: dict[int, int]
+) -> int:
+    """The common ancestor of ``nodes`` latest in topological order.
+
+    A node counts as its own ancestor, so if one member of ``nodes``
+    reaches all the others it is returned directly.  The global start node
+    is always a common ancestor, so the result exists.
+    """
+    common: set[int] | None = None
+    for node in nodes:
+        reaching = ancestors(sfa, node) | {node}
+        common = reaching if common is None else common & reaching
+    assert common
+    return max(common, key=topo_index.__getitem__)
+
+
+def _greatest_common_descendant(
+    sfa: Sfa, nodes: set[int], topo_index: dict[int, int]
+) -> int:
+    """The common descendant of ``nodes`` earliest in topological order."""
+    common: set[int] | None = None
+    for node in nodes:
+        reached = descendants(sfa, node) | {node}
+        common = reached if common is None else common & reached
+    assert common
+    return min(common, key=topo_index.__getitem__)
+
+
+def find_min_sfa(
+    sfa: Sfa, seed_nodes: set[int], topo_index: dict[int, int] | None = None
+) -> Region:
+    """Grow ``seed_nodes`` into the minimal valid enclosing region.
+
+    Implements paper Algorithm 1: while the current set is not a valid
+    sub-SFA, compute the least common ancestor (fixing a missing unique
+    start), the greatest common descendant (fixing a missing unique end),
+    pull in the interval of nodes lying on entry-to-exit paths, and close
+    over edges that cross the region boundary at an internal node.  The
+    loop strictly grows the set, so it terminates (in the worst case with
+    the whole SFA, which is trivially a valid region).
+
+    ``topo_index`` lets callers that probe many seed sets share one
+    topological-order computation.
+    """
+    if len(seed_nodes) < 2:
+        raise SfaError("a chunk region needs at least two seed nodes")
+    if topo_index is None:
+        topo_index = {node: i for i, node in enumerate(topological_order(sfa))}
+    grown = set(seed_nodes)
+    while True:
+        entry = _least_common_ancestor(sfa, grown, topo_index)
+        exit_ = _greatest_common_descendant(sfa, grown, topo_index)
+        if entry == exit_:
+            raise SfaError(
+                f"seed nodes {sorted(seed_nodes)} collapse to a single node"
+            )
+        if topo_index[entry] > topo_index[exit_]:
+            # Pathological seed (e.g. parallel branches with no common
+            # interior); widen to the whole automaton.
+            entry, exit_ = sfa.start, sfa.final
+        interval = (descendants(sfa, entry) | {entry}) & (
+            ancestors(sfa, exit_) | {exit_}
+        )
+        grown |= interval
+        boundary: set[int] = set()
+        for node in interval - {entry, exit_}:
+            for pred in sfa.pred(node):
+                if pred not in interval:
+                    boundary.add(pred)
+            for succ in sfa.succ(node):
+                if succ not in interval:
+                    boundary.add(succ)
+        if not boundary:
+            return Region(nodes=frozenset(interval), entry=entry, exit=exit_)
+        grown |= boundary
+
+
+def region_mass(sfa: Sfa, region: Region) -> float:
+    """Total probability of all entry-to-exit labeled paths in the region
+    (the mass the region carries before pruning)."""
+    mass = {node: 0.0 for node in region.nodes}
+    mass[region.entry] = 1.0
+    order = [n for n in topological_order(sfa) if n in region.nodes]
+    for node in order:
+        if node == region.exit or mass[node] == 0.0:
+            continue
+        for succ in set(sfa.successors(node)):
+            if succ in region.nodes:
+                mass[succ] += mass[node] * sfa.edge_mass(node, succ)
+    return mass[region.exit]
+
+
+def region_top_k(sfa: Sfa, region: Region, k: int) -> list[tuple[str, float]]:
+    """The k highest-probability strings spelled by the region."""
+    return k_best_between(sfa, region.entry, region.exit, k, within=set(region.nodes))
+
+
+def collapse(sfa: Sfa, region: Region, k: int) -> Sfa:
+    """Replace ``region`` with a single edge carrying its top-k strings.
+
+    Returns a new SFA (the input is not modified).  This is the
+    ``Collapse`` operation of paper Section 3.1; by Proposition 3.1,
+    keeping the k most probable region strings maximizes the retained
+    probability mass among all k-string choices for the new edge.
+    """
+    top = region_top_k(sfa, region, k)
+    if not top:
+        raise SfaError("region emits no strings; cannot collapse")
+    result = sfa.copy()
+    for node in region.internal:
+        result.remove_node(node)
+    if result.has_edge(region.entry, region.exit):
+        # A direct entry->exit edge is part of the region's paths and its
+        # strings already competed for the top-k slots.
+        result.remove_edge(region.entry, region.exit)
+    result.add_edge(region.entry, region.exit, top)
+    return result

@@ -1,0 +1,46 @@
+"""The MAP / k-MAP baseline (paper Section 3, "Baseline Approaches").
+
+k-MAP stores the k highest-probability strings of each line SFA, one
+tuple per string with its probability; MAP is the k = 1 special case and
+is what production systems like Google Books keep.  Query processing over
+this representation is ordinary text matching plus probability summation
+(each stored string is a disjoint probabilistic event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sfa.model import Sfa
+from ..sfa.paths import k_best_strings
+
+__all__ = ["KMapDoc", "build_kmap", "build_map"]
+
+
+@dataclass(frozen=True, slots=True)
+class KMapDoc:
+    """The k-MAP representation of one line: ranked strings."""
+
+    strings: tuple[tuple[str, float], ...]
+    k: int
+
+    @property
+    def map_string(self) -> str:
+        """The single most likely transcription."""
+        return self.strings[0][0]
+
+    def retained_mass(self) -> float:
+        """Probability mass the k stored strings cover."""
+        return sum(prob for _, prob in self.strings)
+
+
+def build_kmap(sfa: Sfa, k: int) -> KMapDoc:
+    """Extract the k-MAP representation of a line SFA."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return KMapDoc(strings=tuple(k_best_strings(sfa, k)), k=k)
+
+
+def build_map(sfa: Sfa) -> KMapDoc:
+    """The plain MAP baseline (k = 1)."""
+    return build_kmap(sfa, 1)

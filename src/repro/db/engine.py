@@ -1,0 +1,258 @@
+"""StaccatoDB: the RDBMS-integrated query engine.
+
+This is the system a user of the paper's prototype touches: ingest scanned
+documents (through the OCR channel) into SQLite, then ask ``LIKE`` /
+regex queries against any of the storage approaches:
+
+* ``"map"``      -- rank-0 string only (what Google Books keeps);
+* ``"kmap"``     -- the k best strings per line;
+* ``"fullsfa"``  -- the complete automaton, BLOB per line;
+* ``"staccato"`` -- the chunked approximation (the contribution).
+
+``search`` is the filescan plan (read every line's representation);
+``indexed_search`` is the index plan of Section 4 (anchor lookup in the
+inverted index, then evaluate only candidate lines, optionally on the
+projected window).  Both return the ranked probabilistic relation of
+:class:`repro.query.Answer` rows.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable
+
+from ..automata.trie import DictionaryTrie
+from ..indexing.anchors import anchor_for_query
+from ..indexing.inverted import build_kmap_postings, build_sfa_postings
+from ..indexing.postings import Posting
+from ..indexing.projection import projected_match_probability
+from ..ocr.corpus import Dataset
+from ..ocr.engine import SimulatedOcrEngine
+from ..query.answers import Answer, rank_answers
+from ..query.eval_sfa import match_probability
+from ..query.eval_strings import match_probability_strings
+from ..query.like import compile_like
+from . import storage
+from .schema import create_schema
+
+__all__ = ["StaccatoDB", "APPROACHES"]
+
+APPROACHES = ("map", "kmap", "fullsfa", "staccato")
+
+#: Default BFS depth for projected evaluation: matches can span at most a
+#: few chunks beyond the anchor in the workloads we reproduce.
+DEFAULT_WINDOW = 24
+
+
+class StaccatoDB:
+    """Probabilistic OCR data management on top of SQLite."""
+
+    def __init__(self, path: str = ":memory:", k: int = 25, m: int = 40) -> None:
+        self.conn = sqlite3.connect(path)
+        self.k = k
+        self.m = m
+        self._trie: DictionaryTrie | None = None
+        self._index_approach: str | None = None
+        create_schema(self.conn)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self.conn.close()
+
+    def __enter__(self) -> "StaccatoDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        dataset: Dataset,
+        ocr: SimulatedOcrEngine | None = None,
+        approaches: tuple[str, ...] = ("kmap", "fullsfa", "staccato"),
+        workers: int | None = None,
+    ) -> int:
+        """OCR and store ``dataset``; returns the number of lines."""
+        ocr = ocr or SimulatedOcrEngine()
+        return storage.ingest_dataset(
+            self.conn,
+            dataset,
+            ocr,
+            k=self.k,
+            m=self.m,
+            approaches=approaches,
+            workers=workers,
+        )
+
+    @property
+    def num_lines(self) -> int:
+        """Number of ingested lines (SFAs)."""
+        row = self.conn.execute("SELECT COUNT(*) FROM MasterData").fetchone()
+        return row[0]
+
+    def storage_bytes(self, approach: str) -> int:
+        """Approximate bytes the approach's tables occupy."""
+        return storage.approach_storage_bytes(self.conn, approach)
+
+    # ------------------------------------------------------------------
+    def _line_probability(self, like: str, approach: str, data_key: int) -> float:
+        query = compile_like(like)
+        return self._probability_with_query(query, approach, data_key)
+
+    def _probability_with_query(self, query, approach: str, data_key: int) -> float:
+        if approach == "map":
+            strings = storage.load_kmap(self.conn, data_key, k=1)
+            return match_probability_strings(strings, query)
+        if approach == "kmap":
+            strings = storage.load_kmap(self.conn, data_key)
+            return match_probability_strings(strings, query)
+        if approach == "fullsfa":
+            return match_probability(storage.load_fullsfa(self.conn, data_key), query)
+        if approach == "staccato":
+            return match_probability(storage.load_staccato(self.conn, data_key), query)
+        raise ValueError(f"unknown approach {approach!r}")
+
+    def search(
+        self,
+        like: str,
+        approach: str = "staccato",
+        num_ans: int | None = 100,
+        data_keys: Iterable[int] | None = None,
+    ) -> list[Answer]:
+        """Filescan query plan: evaluate the predicate on every line."""
+        query = compile_like(like)
+        keys = (
+            list(data_keys)
+            if data_keys is not None
+            else storage.all_data_keys(self.conn)
+        )
+        answers = []
+        for data_key in keys:
+            prob = self._probability_with_query(query, approach, data_key)
+            if prob <= 0.0:
+                continue
+            doc_id, line_no = storage.line_metadata(self.conn, data_key)
+            answers.append(
+                Answer(
+                    line_id=data_key,
+                    doc_id=doc_id,
+                    line_no=line_no,
+                    probability=prob,
+                )
+            )
+        return rank_answers(answers, num_ans=num_ans)
+
+    # ------------------------------------------------------------------
+    def build_index(
+        self, dictionary: Iterable[str], approach: str = "staccato"
+    ) -> int:
+        """Construct the dictionary inverted index (paper Section 4).
+
+        Returns the number of postings inserted.  The index covers the
+        chosen approach's representation; rebuilding replaces it.
+        """
+        if approach not in ("kmap", "staccato"):
+            raise ValueError(
+                "the dictionary index covers 'kmap' or 'staccato' data"
+            )
+        trie = DictionaryTrie(dictionary)
+        rows: list[tuple[str, int, int, int, int, int]] = []
+        for data_key in storage.all_data_keys(self.conn):
+            if approach == "staccato":
+                graph = storage.load_staccato(self.conn, data_key)
+                postings = build_sfa_postings(graph, trie)
+            else:
+                strings = storage.load_kmap(self.conn, data_key)
+                postings = build_kmap_postings(strings, trie)
+            for term, term_postings in postings.items():
+                rows.extend(
+                    (term, data_key, p.u, p.v, p.rank, p.offset)
+                    for p in term_postings
+                )
+        with self.conn:
+            self.conn.execute("DELETE FROM InvertedIndex")
+            self.conn.executemany(
+                "INSERT INTO InvertedIndex (Term, DataKey, U, V, Rank, Offset)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        self._trie = trie
+        self._index_approach = approach
+        return len(rows)
+
+    def index_postings(self, term: str) -> dict[int, set[Posting]]:
+        """Posting lists of one term, grouped by line (B-tree probe)."""
+        rows = self.conn.execute(
+            "SELECT DataKey, U, V, Rank, Offset FROM InvertedIndex "
+            "WHERE Term = ?",
+            (term.lower(),),
+        ).fetchall()
+        grouped: dict[int, set[Posting]] = {}
+        for data_key, u, v, rank, offset in rows:
+            grouped.setdefault(data_key, set()).add(
+                Posting(u=u, v=v, rank=rank, offset=offset)
+            )
+        return grouped
+
+    def index_selectivity(self, term: str) -> float:
+        """Fraction of lines the term's postings touch (Figure 20)."""
+        total = self.num_lines
+        if total == 0:
+            return 0.0
+        row = self.conn.execute(
+            "SELECT COUNT(DISTINCT DataKey) FROM InvertedIndex WHERE Term = ?",
+            (term.lower(),),
+        ).fetchone()
+        return row[0] / total
+
+    def indexed_search(
+        self,
+        like: str,
+        approach: str = "staccato",
+        num_ans: int | None = 100,
+        use_projection: bool = True,
+        window: int = DEFAULT_WINDOW,
+    ) -> list[Answer]:
+        """Index query plan: anchor lookup, then evaluate candidates only.
+
+        Falls back to the filescan plan when the query has no usable left
+        anchor or no index has been built (the paper's parser makes the
+        same decision).
+        """
+        if self._trie is None or self._index_approach != approach:
+            return self.search(like, approach=approach, num_ans=num_ans)
+        anchor = anchor_for_query(like, self._trie)
+        if anchor is None:
+            return self.search(like, approach=approach, num_ans=num_ans)
+        candidates = self.index_postings(anchor)
+        if not candidates:
+            return []
+        query = compile_like(like)
+        answers = []
+        for data_key, postings in candidates.items():
+            if approach == "staccato" and use_projection:
+                graph = storage.load_staccato(self.conn, data_key)
+                prob = projected_match_probability(graph, query, postings, window)
+            else:
+                prob = self._probability_with_query(query, approach, data_key)
+            if prob <= 0.0:
+                continue
+            doc_id, line_no = storage.line_metadata(self.conn, data_key)
+            answers.append(
+                Answer(
+                    line_id=data_key,
+                    doc_id=doc_id,
+                    line_no=line_no,
+                    probability=prob,
+                )
+            )
+        return rank_answers(answers, num_ans=num_ans)
+
+    # ------------------------------------------------------------------
+    def ground_truth_matches(self, like: str) -> set[int]:
+        """Line ids whose clean text satisfies the query (for metrics)."""
+        query = compile_like(like)
+        rows = self.conn.execute("SELECT DataKey, Data FROM GroundTruth")
+        return {key for key, text in rows if query.accepts(text)}

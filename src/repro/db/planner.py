@@ -1,0 +1,86 @@
+"""Cost-based plan selection: index probe vs filescan.
+
+Section 5.3's lesson is that the dictionary index helps only while the
+anchor term is selective; Figure 20 shows selectivity saturating toward
+100% at high (m, k), "rendering [the indexes] useless".  A real system
+must therefore *choose* between the probe and the scan per query.  This
+planner makes that choice the way a textbook optimizer would:
+
+    cost(scan)  ~ N * c_line
+    cost(probe) ~ c_lookup + sel * N * c_line
+
+so the probe wins when the anchor's selectivity is below roughly
+``1 - c_lookup / (N * c_line)`` -- i.e. almost always when selective, and
+never when the posting list covers the corpus.  Selectivity comes from
+the index itself (a COUNT(DISTINCT) probe), mirroring how an RDBMS uses
+its statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..indexing.anchors import anchor_for_query
+from .engine import StaccatoDB
+
+__all__ = ["QueryPlan", "choose_plan", "execute_plan"]
+
+#: Selectivity above which the probe stops paying for itself (the probe
+#: also pays the B-tree lookup and posting materialization).
+DEFAULT_SELECTIVITY_THRESHOLD = 0.8
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """The chosen access path for one query."""
+
+    kind: str  # "index" | "scan"
+    anchor: str | None
+    selectivity: float | None
+    reason: str
+
+
+def choose_plan(
+    db: StaccatoDB,
+    like: str,
+    threshold: float = DEFAULT_SELECTIVITY_THRESHOLD,
+) -> QueryPlan:
+    """Pick the access path for ``like`` against the current index."""
+    if db._trie is None:
+        return QueryPlan("scan", None, None, "no index built")
+    anchor = anchor_for_query(like, db._trie)
+    if anchor is None:
+        return QueryPlan(
+            "scan", None, None, "query is not left-anchored by a dictionary term"
+        )
+    selectivity = db.index_selectivity(anchor)
+    if selectivity > threshold:
+        return QueryPlan(
+            "scan",
+            anchor,
+            selectivity,
+            f"anchor '{anchor}' matches {selectivity:.0%} of lines "
+            f"(> {threshold:.0%} threshold)",
+        )
+    return QueryPlan(
+        "index",
+        anchor,
+        selectivity,
+        f"anchor '{anchor}' selects {selectivity:.0%} of lines",
+    )
+
+
+def execute_plan(
+    db: StaccatoDB,
+    like: str,
+    approach: str = "staccato",
+    num_ans: int | None = 100,
+    threshold: float = DEFAULT_SELECTIVITY_THRESHOLD,
+):
+    """Choose and run the best plan; returns ``(plan, answers)``."""
+    plan = choose_plan(db, like, threshold=threshold)
+    if plan.kind == "index":
+        answers = db.indexed_search(like, approach=approach, num_ans=num_ans)
+    else:
+        answers = db.search(like, approach=approach, num_ans=num_ans)
+    return plan, answers

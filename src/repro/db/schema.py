@@ -1,0 +1,94 @@
+"""Relational schema for probabilistic OCR storage (paper Appendix G).
+
+Mirrors the paper's Table 5: one master table per dataset plus one data
+table per approach, and the inverted-index table of Section 5.3
+(implemented there as "a relational table with a B+-tree on top of it" --
+here a SQLite table with a B-tree index on the term column).  A
+``Documents`` table carries the enterprise metadata of the running
+insurance example (``Claims(DocID, Year, Loss, DocData)``).
+
+Probabilities are stored as log-probabilities in FLOAT8 columns, exactly
+as the paper's schema does.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+__all__ = ["create_schema", "TABLES"]
+
+TABLES = [
+    "Documents",
+    "MasterData",
+    "kMAPData",
+    "FullSFAData",
+    "StaccatoData",
+    "StaccatoGraph",
+    "GroundTruth",
+    "InvertedIndex",
+]
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS Documents (
+    DocId   INTEGER PRIMARY KEY,
+    DocName TEXT NOT NULL,
+    Year    INTEGER NOT NULL,
+    Loss    REAL NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS MasterData (
+    DataKey INTEGER PRIMARY KEY,
+    DocName TEXT NOT NULL,
+    DocId   INTEGER NOT NULL REFERENCES Documents(DocId),
+    SFANum  INTEGER NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS kMAPData (
+    DataKey INTEGER NOT NULL REFERENCES MasterData(DataKey),
+    Rank    INTEGER NOT NULL,
+    Data    TEXT NOT NULL,
+    LogProb REAL NOT NULL,
+    PRIMARY KEY (DataKey, Rank)
+);
+
+CREATE TABLE IF NOT EXISTS FullSFAData (
+    DataKey INTEGER PRIMARY KEY REFERENCES MasterData(DataKey),
+    SFABlob BLOB NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS StaccatoData (
+    DataKey  INTEGER NOT NULL REFERENCES MasterData(DataKey),
+    ChunkNum INTEGER NOT NULL,
+    Rank     INTEGER NOT NULL,
+    Data     TEXT NOT NULL,
+    LogProb  REAL NOT NULL,
+    PRIMARY KEY (DataKey, ChunkNum, Rank)
+);
+
+CREATE TABLE IF NOT EXISTS StaccatoGraph (
+    DataKey   INTEGER PRIMARY KEY REFERENCES MasterData(DataKey),
+    GraphBlob BLOB NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS GroundTruth (
+    DataKey INTEGER PRIMARY KEY REFERENCES MasterData(DataKey),
+    Data    TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS InvertedIndex (
+    Term    TEXT NOT NULL,
+    DataKey INTEGER NOT NULL REFERENCES MasterData(DataKey),
+    U       INTEGER NOT NULL,
+    V       INTEGER NOT NULL,
+    Rank    INTEGER NOT NULL,
+    Offset  INTEGER NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_inverted_term ON InvertedIndex(Term);
+"""
+
+
+def create_schema(conn: sqlite3.Connection) -> None:
+    """Create every table (idempotent)."""
+    with conn:
+        conn.executescript(_DDL)

@@ -1,0 +1,260 @@
+"""Ingest and load: moving OCR representations in and out of the RDBMS.
+
+One line of one document becomes:
+
+* a row in ``MasterData`` (its DataKey is the dataset-global line id);
+* its ground-truth text in ``GroundTruth`` (the paper built manual ground
+  truth; our simulated channel gives it exactly);
+* per approach, the corresponding representation rows:
+  k-MAP strings, the FullSFA blob, and/or the Staccato chunk strings plus
+  chunk-graph blob (paper Table 5).
+
+All inserts are batched with ``executemany`` inside transactions.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+from ..core.approximate import staccato_approximate
+from ..core.kmap import build_kmap
+from ..ocr.corpus import Dataset
+from ..ocr.engine import SimulatedOcrEngine
+from ..sfa import serialize
+from ..sfa.model import Sfa
+
+__all__ = [
+    "ingest_dataset",
+    "load_fullsfa",
+    "load_kmap",
+    "load_staccato",
+    "load_ground_truth",
+    "all_data_keys",
+    "line_metadata",
+    "approach_storage_bytes",
+]
+
+APPROACH_TABLES = {
+    "map": ("kMAPData",),
+    "kmap": ("kMAPData",),
+    "fullsfa": ("FullSFAData",),
+    "staccato": ("StaccatoData", "StaccatoGraph"),
+}
+
+
+def _log_prob(prob: float) -> float:
+    return math.log(prob) if prob > 0.0 else -math.inf
+
+
+def _line_representations(
+    line: tuple[int, int, int, str],
+    ocr: SimulatedOcrEngine,
+    k: int,
+    m: int,
+    want_kmap: bool,
+    want_fullsfa: bool,
+    want_staccato: bool,
+):
+    """Build one line's representations (runs in worker processes too)."""
+    line_id, doc_id, line_no, text = line
+    sfa = ocr.recognize_line(text, line_seed=(doc_id, line_no))
+    kmap_rows = []
+    if want_kmap:
+        doc = build_kmap(sfa, k)
+        kmap_rows = [
+            (line_id, rank, string, _log_prob(prob))
+            for rank, (string, prob) in enumerate(doc.strings)
+        ]
+    fullsfa_row = (line_id, serialize.to_bytes(sfa)) if want_fullsfa else None
+    staccato_rows = []
+    graph_row = None
+    if want_staccato:
+        chunked = staccato_approximate(sfa, m=m, k=k)
+        graph_row = (line_id, serialize.to_bytes(chunked))
+        for chunk_num, (u, v) in enumerate(sorted(chunked.edges)):
+            staccato_rows.extend(
+                (line_id, chunk_num, rank, e.string, _log_prob(e.prob))
+                for rank, e in enumerate(chunked.emissions(u, v))
+            )
+    return kmap_rows, fullsfa_row, staccato_rows, graph_row
+
+
+def ingest_dataset(
+    conn: sqlite3.Connection,
+    dataset: Dataset,
+    ocr: SimulatedOcrEngine,
+    k: int = 25,
+    m: int = 40,
+    approaches: tuple[str, ...] = ("kmap", "fullsfa", "staccato"),
+    workers: int | None = None,
+) -> int:
+    """OCR every line of ``dataset`` and store the chosen representations.
+
+    Returns the number of lines ingested.  The ``map`` approach is served
+    by the rank-0 rows of ``kMAPData``, so requesting ``"map"`` ensures at
+    least k >= 1 strings are stored.  ``workers`` fans the per-line
+    representation building out over a process pool -- construction is
+    embarrassingly parallel across SFAs, exactly how the paper ran it on
+    Condor (Section 5.2).
+    """
+    unknown = set(approaches) - set(APPROACH_TABLES)
+    if unknown:
+        raise ValueError(f"unknown approaches: {sorted(unknown)}")
+    doc_rows = [
+        (doc.doc_id, doc.name, doc.year, doc.loss) for doc in dataset.documents
+    ]
+    lines = dataset.lines()
+    master_rows = [
+        (line_id, f"{dataset.name}-{doc_id}", doc_id, line_no)
+        for line_id, doc_id, line_no, _ in lines
+    ]
+    truth_rows = [(line_id, text) for line_id, _, _, text in lines]
+    build = partial(
+        _line_representations,
+        ocr=ocr,
+        k=k,
+        m=m,
+        want_kmap="kmap" in approaches or "map" in approaches,
+        want_fullsfa="fullsfa" in approaches,
+        want_staccato="staccato" in approaches,
+    )
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            built = list(pool.map(build, lines, chunksize=8))
+    else:
+        built = [build(line) for line in lines]
+    kmap_rows = []
+    fullsfa_rows = []
+    staccato_rows = []
+    graph_rows = []
+    for line_kmap, fullsfa_row, line_staccato, graph_row in built:
+        kmap_rows.extend(line_kmap)
+        if fullsfa_row is not None:
+            fullsfa_rows.append(fullsfa_row)
+        staccato_rows.extend(line_staccato)
+        if graph_row is not None:
+            graph_rows.append(graph_row)
+    with conn:
+        conn.executemany(
+            "INSERT OR REPLACE INTO Documents (DocId, DocName, Year, Loss) "
+            "VALUES (?, ?, ?, ?)",
+            doc_rows,
+        )
+        conn.executemany(
+            "INSERT INTO MasterData (DataKey, DocName, DocId, SFANum) "
+            "VALUES (?, ?, ?, ?)",
+            master_rows,
+        )
+        conn.executemany(
+            "INSERT INTO GroundTruth (DataKey, Data) VALUES (?, ?)", truth_rows
+        )
+        if kmap_rows:
+            conn.executemany(
+                "INSERT INTO kMAPData (DataKey, Rank, Data, LogProb) "
+                "VALUES (?, ?, ?, ?)",
+                kmap_rows,
+            )
+        if fullsfa_rows:
+            conn.executemany(
+                "INSERT INTO FullSFAData (DataKey, SFABlob) VALUES (?, ?)",
+                fullsfa_rows,
+            )
+        if staccato_rows:
+            conn.executemany(
+                "INSERT INTO StaccatoData (DataKey, ChunkNum, Rank, Data, LogProb)"
+                " VALUES (?, ?, ?, ?, ?)",
+                staccato_rows,
+            )
+            conn.executemany(
+                "INSERT INTO StaccatoGraph (DataKey, GraphBlob) VALUES (?, ?)",
+                graph_rows,
+            )
+    return len(master_rows)
+
+
+def all_data_keys(conn: sqlite3.Connection) -> list[int]:
+    """Every ingested line id, in order."""
+    rows = conn.execute("SELECT DataKey FROM MasterData ORDER BY DataKey")
+    return [key for (key,) in rows]
+
+
+def line_metadata(conn: sqlite3.Connection, data_key: int) -> tuple[int, int]:
+    """``(DocId, SFANum)`` for one line."""
+    row = conn.execute(
+        "SELECT DocId, SFANum FROM MasterData WHERE DataKey = ?", (data_key,)
+    ).fetchone()
+    if row is None:
+        raise KeyError(f"no line with DataKey {data_key}")
+    return row
+
+
+def load_fullsfa(conn: sqlite3.Connection, data_key: int) -> Sfa:
+    """Retrieve and deserialize the FullSFA blob of one line."""
+    row = conn.execute(
+        "SELECT SFABlob FROM FullSFAData WHERE DataKey = ?", (data_key,)
+    ).fetchone()
+    if row is None:
+        raise KeyError(f"no FullSFA blob for DataKey {data_key}")
+    return serialize.from_bytes(row[0])
+
+
+def load_staccato(conn: sqlite3.Connection, data_key: int) -> Sfa:
+    """Retrieve and deserialize the Staccato chunk graph of one line."""
+    row = conn.execute(
+        "SELECT GraphBlob FROM StaccatoGraph WHERE DataKey = ?", (data_key,)
+    ).fetchone()
+    if row is None:
+        raise KeyError(f"no Staccato graph for DataKey {data_key}")
+    return serialize.from_bytes(row[0])
+
+
+def load_kmap(
+    conn: sqlite3.Connection, data_key: int, k: int | None = None
+) -> list[tuple[str, float]]:
+    """The ranked k-MAP strings of one line (optionally truncated to k)."""
+    rows = conn.execute(
+        "SELECT Data, LogProb FROM kMAPData WHERE DataKey = ? ORDER BY Rank",
+        (data_key,),
+    ).fetchall()
+    if not rows:
+        raise KeyError(f"no k-MAP strings for DataKey {data_key}")
+    if k is not None:
+        rows = rows[:k]
+    return [(text, math.exp(log_prob)) for text, log_prob in rows]
+
+
+def load_ground_truth(conn: sqlite3.Connection, data_key: int) -> str:
+    """The clean ground-truth text of one line."""
+    row = conn.execute(
+        "SELECT Data FROM GroundTruth WHERE DataKey = ?", (data_key,)
+    ).fetchone()
+    if row is None:
+        raise KeyError(f"no ground truth for DataKey {data_key}")
+    return row[0]
+
+
+def approach_storage_bytes(conn: sqlite3.Connection, approach: str) -> int:
+    """Approximate storage footprint of one approach's tables (used by the
+    Table 2 / Figure 20 size reports)."""
+    if approach in ("map", "kmap"):
+        row = conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(Data) + 16), 0) FROM kMAPData"
+        ).fetchone()
+        return row[0]
+    if approach == "fullsfa":
+        row = conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(SFABlob)), 0) FROM FullSFAData"
+        ).fetchone()
+        return row[0]
+    if approach == "staccato":
+        strings = conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(Data) + 16), 0) FROM StaccatoData"
+        ).fetchone()[0]
+        graphs = conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(GraphBlob)), 0) FROM StaccatoGraph"
+        ).fetchone()[0]
+        return strings + graphs
+    raise ValueError(f"unknown approach {approach!r}")

@@ -1,0 +1,107 @@
+"""Model-based views over OCR query results (paper Section 6).
+
+The paper follows MauveDB's model-based views [25]: the result of
+query-time inference over the OCR transducers is exposed to applications
+as an ordinary relational table, so downstream probabilistic RDBMS
+machinery (MystiQ, Trio, MayBMS, ...) can consume it without knowing
+anything about automata.  ``materialize_view`` runs a LIKE/REGEX query
+under a chosen approach and persists the resulting probabilistic
+relation; ``refresh_view`` recomputes it after new ingests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .engine import StaccatoDB
+
+__all__ = ["materialize_view", "refresh_view", "drop_view", "list_views"]
+
+_VIEW_REGISTRY = """
+CREATE TABLE IF NOT EXISTS ModelViews (
+    ViewName  TEXT PRIMARY KEY,
+    Pattern   TEXT NOT NULL,
+    Approach  TEXT NOT NULL,
+    NumAns    INTEGER
+);
+"""
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid view name {name!r}")
+    return name
+
+
+def materialize_view(
+    db: StaccatoDB,
+    name: str,
+    pattern: str,
+    approach: str = "staccato",
+    num_ans: int | None = None,
+) -> int:
+    """Run ``pattern`` and persist its probabilistic relation as a table.
+
+    The view schema is ``(DataKey, DocId, LineNum, Probability)`` -- one
+    row per matching line, ready for ingestion by a probabilistic RDBMS.
+    Returns the number of rows materialized.  The view's definition is
+    recorded so :func:`refresh_view` can recompute it later.
+    """
+    _check_name(name)
+    answers = db.search(pattern, approach=approach, num_ans=num_ans)
+    with db.conn:
+        db.conn.executescript(_VIEW_REGISTRY)
+        db.conn.execute(f'DROP TABLE IF EXISTS "{name}"')
+        db.conn.execute(
+            f'CREATE TABLE "{name}" ('
+            "DataKey INTEGER PRIMARY KEY, DocId INTEGER, "
+            "LineNum INTEGER, Probability REAL)"
+        )
+        db.conn.executemany(
+            f'INSERT INTO "{name}" VALUES (?, ?, ?, ?)',
+            [
+                (a.line_id, a.doc_id, a.line_no, a.probability)
+                for a in answers
+            ],
+        )
+        db.conn.execute(
+            "INSERT OR REPLACE INTO ModelViews VALUES (?, ?, ?, ?)",
+            (name, pattern, approach, num_ans),
+        )
+    return len(answers)
+
+
+def refresh_view(db: StaccatoDB, name: str) -> int:
+    """Recompute a materialized view from its recorded definition."""
+    _check_name(name)
+    row = db.conn.execute(
+        "SELECT Pattern, Approach, NumAns FROM ModelViews WHERE ViewName = ?",
+        (name,),
+    ).fetchone()
+    if row is None:
+        raise KeyError(f"no materialized view {name!r}")
+    pattern, approach, num_ans = row
+    return materialize_view(db, name, pattern, approach, num_ans)
+
+
+def drop_view(db: StaccatoDB, name: str) -> None:
+    """Drop a materialized view and its registry entry."""
+    _check_name(name)
+    with db.conn:
+        db.conn.execute(f'DROP TABLE IF EXISTS "{name}"')
+        db.conn.executescript(_VIEW_REGISTRY)
+        db.conn.execute("DELETE FROM ModelViews WHERE ViewName = ?", (name,))
+
+
+def list_views(db: StaccatoDB) -> list[tuple[str, str, str]]:
+    """All registered views as ``(name, pattern, approach)``."""
+    db.conn.executescript(_VIEW_REGISTRY)
+    return [
+        (name, pattern, approach)
+        for name, pattern, approach, _ in db.conn.execute(
+            "SELECT ViewName, Pattern, Approach, NumAns FROM ModelViews "
+            "ORDER BY ViewName"
+        )
+    ]

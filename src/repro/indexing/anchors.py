@@ -1,0 +1,52 @@
+"""Left-anchor extraction for index-assisted queries (paper Sections 2.1, 4).
+
+An *anchored* regular expression begins (or ends) with words of the
+language -- e.g. ``no.(2|3)`` is anchored, ``(no|num).(2|8)`` is not.  For
+a left-anchored query whose anchor word is in the index dictionary, the
+posting list of the anchor prunes the lines that must be scanned.
+"""
+
+from __future__ import annotations
+
+from ..automata.regex import literal_prefix, parse
+from ..automata.trie import DictionaryTrie
+from ..query.like import like_to_pattern
+
+__all__ = ["left_anchor_word", "anchor_for_query"]
+
+_MIN_ANCHOR_LENGTH = 2
+
+
+def left_anchor_word(pattern: str) -> str | None:
+    """The first complete word of the pattern's literal prefix, if any.
+
+    ``Public Law (8|9)\\d`` -> ``public`` (lowercased to match the
+    dictionary trie's normalization).  Returns ``None`` when the pattern
+    starts with a wildcard/alternation (not left-anchored) or the prefix
+    has no complete word.
+    """
+    prefix = literal_prefix(parse(pattern))
+    if not prefix:
+        return None
+    words = prefix.split(" ")
+    # A word is only *complete* if something follows it (a space or more
+    # pattern); otherwise the pattern might continue the word.
+    if len(words) >= 2:
+        candidate = words[0]
+    else:
+        return None
+    candidate = candidate.strip().lower()
+    if len(candidate) < _MIN_ANCHOR_LENGTH or not candidate.isalpha():
+        return None
+    return candidate
+
+
+def anchor_for_query(like: str, trie: DictionaryTrie) -> str | None:
+    """The usable anchor of a LIKE/REGEX query: a left-anchor word that is
+    present in the index dictionary (otherwise the index cannot help and
+    the engine falls back to a filescan)."""
+    pattern, _ = like_to_pattern(like)
+    word = left_anchor_word(pattern)
+    if word is not None and trie.contains(word):
+        return word
+    return None

@@ -1,0 +1,135 @@
+"""Dictionary-based inverted index construction over SFAs.
+
+Implements the paper's Algorithms 3 and 4 (Appendix F): the dictionary of
+terms is compiled into a prefix-trie automaton with one final state per
+term; a dynamic program walks the SFA's edges in topological order and
+runs the trie over every stored string, starting a fresh run at every
+character offset.  Runs still alive at the end of a string are passed to
+successor edges as *augmented states* -- (trie state, original posting)
+pairs -- which is how terms straddling several edges/chunks are found.
+Whenever a final state is reached, the posting recorded is the location
+where the term *started*.
+"""
+
+from __future__ import annotations
+
+from ..automata.trie import DictionaryTrie
+from ..sfa.model import Sfa
+from ..sfa.ops import topological_order
+from .postings import Posting
+
+__all__ = ["build_sfa_postings", "build_kmap_postings"]
+
+# An augmented-state table: trie state -> set of start postings.
+AugmentedStates = dict[int, set[Posting]]
+
+
+def _run_dfa(
+    trie: DictionaryTrie,
+    incoming: AugmentedStates,
+    u: int,
+    v: int,
+    rank: int,
+    text: str,
+    index: dict[str, set[Posting]],
+) -> AugmentedStates:
+    """Paper Algorithm 4 (RunDFA) for one stored string of one edge.
+
+    Starts a fresh trie run at every offset of ``text``, continues every
+    incoming augmented run, emits postings at final states, and returns
+    the augmented states surviving past the end of the string.
+    """
+    survivors: AugmentedStates = {}
+
+    # Fresh runs beginning inside this string.
+    active: list[tuple[int, int]] = []  # (trie state, start offset)
+    for j, ch in enumerate(text):
+        active.append((trie.start, j))
+        advanced: list[tuple[int, int]] = []
+        for state, start in active:
+            nxt = trie.step(state, ch)
+            if nxt == trie.DEAD:
+                continue
+            advanced.append((nxt, start))
+            if trie.is_final(nxt):
+                index.setdefault(trie.term_at(nxt), set()).add(
+                    Posting(u=u, v=v, rank=rank, offset=start)
+                )
+        active = advanced
+    for state, start in active:
+        if state != trie.start:
+            survivors.setdefault(state, set()).add(
+                Posting(u=u, v=v, rank=rank, offset=start)
+            )
+
+    # Runs continuing from predecessor edges.
+    for state, origins in incoming.items():
+        current = state
+        died = False
+        for ch in text:
+            nxt = trie.step(current, ch)
+            if nxt == trie.DEAD:
+                died = True
+                break
+            current = nxt
+            if trie.is_final(nxt):
+                term = trie.term_at(nxt)
+                bucket = index.setdefault(term, set())
+                bucket.update(origins)
+        if not died:
+            survivors.setdefault(current, set()).update(origins)
+    return survivors
+
+
+def build_sfa_postings(
+    sfa: Sfa, trie: DictionaryTrie
+) -> dict[str, set[Posting]]:
+    """Paper Algorithm 3: the index-construction DP over one SFA.
+
+    Works uniformly over FullSFA data (single-character emissions) and
+    Staccato chunk graphs (up to k string emissions per edge).  Returns
+    ``term -> postings`` for this line.
+    """
+    index: dict[str, set[Posting]] = {}
+    # Augmented states are aggregated per *node*: the union over all
+    # incoming edges' survivors, available to every outgoing edge.
+    at_node: dict[int, AugmentedStates] = {node: {} for node in sfa.nodes}
+    for node in topological_order(sfa):
+        incoming = at_node[node]
+        for succ in set(sfa.successors(node)):
+            for rank, emission in enumerate(sfa.emissions(node, succ)):
+                survivors = _run_dfa(
+                    trie, incoming, node, succ, rank, emission.string, index
+                )
+                bucket = at_node[succ]
+                for state, origins in survivors.items():
+                    bucket.setdefault(state, set()).update(origins)
+    return index
+
+
+def build_kmap_postings(
+    strings: list[tuple[str, float]], trie: DictionaryTrie
+) -> dict[str, set[Posting]]:
+    """Standard text indexing of a k-MAP string list (paper: "indexing
+    k-MAP data is pretty straightforward").
+
+    Postings use the convention ``u = v = -1`` (there is no graph) with
+    ``rank`` identifying the stored string.
+    """
+    index: dict[str, set[Posting]] = {}
+    for rank, (text, _) in enumerate(strings):
+        active: list[tuple[int, int]] = []
+        for j, ch in enumerate(text):
+            active.append((trie.start, j))
+            advanced = []
+            for state, start in active:
+                nxt = trie.step(state, ch)
+                if nxt == trie.DEAD:
+                    continue
+                advanced.append((nxt, start))
+                if trie.is_final(nxt):
+                    index.setdefault(trie.term_at(nxt), set()).add(
+                        Posting(u=-1, v=-1, rank=rank, offset=start)
+                    )
+            active = advanced
+    return index

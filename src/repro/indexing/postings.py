@@ -1,0 +1,73 @@
+"""Posting lists for the SFA inverted index (paper Section 4).
+
+A posting records where a dictionary term *starts* inside one line's
+representation: the edge (chunk), the rank of the string on that edge,
+and the character offset inside that string.  Terms that straddle edges
+are recorded at the edge/offset where they began (paper Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Posting", "PostingIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """Start location of a term occurrence inside one SFA."""
+
+    u: int
+    v: int
+    rank: int
+    offset: int
+
+
+class PostingIndex:
+    """An in-memory inverted index: term -> set of postings per line.
+
+    The RDBMS-backed form (:mod:`repro.db`) stores the same tuples in a
+    relational table with a B-tree on the term column, as the paper does;
+    this class is the per-SFA construction result and the in-memory query
+    structure.
+    """
+
+    def __init__(self) -> None:
+        self._by_term: dict[str, dict[int, set[Posting]]] = {}
+
+    def add(self, term: str, line_id: int, posting: Posting) -> None:
+        """Record one posting for ``term`` on ``line_id``."""
+        self._by_term.setdefault(term, {}).setdefault(line_id, set()).add(posting)
+
+    def merge_line(
+        self, line_id: int, term_postings: dict[str, set[Posting]]
+    ) -> None:
+        """Fold one line's construction output into the global index."""
+        for term, postings in term_postings.items():
+            for posting in postings:
+                self.add(term, line_id, posting)
+
+    def lines_for(self, term: str) -> dict[int, set[Posting]]:
+        """All lines containing ``term``, with their postings."""
+        return {
+            line_id: set(postings)
+            for line_id, postings in self._by_term.get(term, {}).items()
+        }
+
+    def terms(self) -> list[str]:
+        """All indexed terms, sorted."""
+        return sorted(self._by_term)
+
+    def num_postings(self) -> int:
+        """Total posting count across terms and lines."""
+        return sum(
+            len(postings)
+            for lines in self._by_term.values()
+            for postings in lines.values()
+        )
+
+    def selectivity(self, term: str, num_lines: int) -> float:
+        """Fraction of lines the term's posting list touches (Figure 20)."""
+        if num_lines == 0:
+            return 0.0
+        return len(self._by_term.get(term, {})) / num_lines

@@ -1,0 +1,98 @@
+"""SFA projection: evaluate only the neighborhood of a posting.
+
+Traditional text search reads just the matched region of a document; the
+paper extends the idea to SFAs (Section 4): from a posting's start
+location, a breadth-first search collects the descendant nodes reachable
+within the term length, giving a (deliberate over-) estimate of the part
+of the automaton needed to verify the match.  Evaluating the query DP on
+that window is much cheaper than on the whole line.
+
+The window probability is the mass of paths that (a) reach the window
+entry and (b) match the pattern starting inside the window -- an
+approximation of the full line-match probability that never misses an
+anchored match (the anchor *starts* at the posting by construction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..automata import dfa
+from ..automata.dfa import Dfa
+from ..sfa.model import Sfa
+from ..sfa.ops import backward_mass, forward_mass, topological_order
+from .postings import Posting
+
+__all__ = ["projection_nodes", "projected_match_probability"]
+
+
+def projection_nodes(sfa: Sfa, start_node: int, depth: int) -> set[int]:
+    """Nodes reachable from ``start_node`` by at most ``depth`` edges."""
+    seen = {start_node}
+    frontier = deque([(start_node, 0)])
+    while frontier:
+        node, dist = frontier.popleft()
+        if dist == depth:
+            continue
+        for succ in sfa.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append((succ, dist + 1))
+    return seen
+
+
+def projected_match_probability(
+    sfa: Sfa,
+    query: Dfa,
+    postings: set[Posting],
+    window: int,
+) -> float:
+    """Match probability restricted to the posting windows.
+
+    ``window`` bounds the BFS depth (an upper estimate of how many edges
+    the pattern can span).  The DP runs once over the union of windows:
+    mass is injected at each window entry (weighted by the full-line
+    forward mass of that node) and accepted mass is folded out through the
+    full-line backward masses.  The result is an *estimate* of the line
+    match probability: positive exactly when some window matches (so
+    anchored recall is unaffected), but paths crossing several windows can
+    be counted more than once, hence the final clamp.
+    """
+    if not postings:
+        return 0.0
+    if not query.match_anywhere:
+        raise ValueError("projection only supports match-anywhere queries")
+    entries = {p.u for p in postings}
+    allowed: set[int] = set()
+    for entry in entries:
+        allowed |= projection_nodes(sfa, entry, window)
+    forward = forward_mass(sfa)
+    backward = backward_mass(sfa)
+    matched = 0.0
+    masses: dict[int, dict[int, float]] = {node: {} for node in allowed}
+    for entry in entries:
+        if forward[entry] > 0.0:
+            masses[entry][query.start] = (
+                masses[entry].get(query.start, 0.0) + forward[entry]
+            )
+    for node in topological_order(sfa):
+        if node not in allowed:
+            continue
+        dist = masses[node]
+        if not dist:
+            continue
+        for succ in set(sfa.successors(node)):
+            if succ not in allowed:
+                continue
+            succ_dist = masses[succ]
+            for emission in sfa.emissions(node, succ):
+                for state, mass in dist.items():
+                    nxt = query.step_string(state, emission.string)
+                    if nxt == dfa.DEAD:
+                        continue
+                    weight = mass * emission.prob
+                    if query.is_accepting(nxt):
+                        matched += weight * backward[succ]
+                    else:
+                        succ_dist[nxt] = succ_dist.get(nxt, 0.0) + weight
+    return min(matched, 1.0)

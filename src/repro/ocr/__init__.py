@@ -1,0 +1,26 @@
+"""Simulated OCR: the OCRopus substitute plus synthetic corpora."""
+
+from .corpus import Dataset, Document, make_ca, make_db, make_lt, make_scale
+from .engine import SimulatedOcrEngine, stable_seed
+from .ground_truth import true_match_count, true_matches
+from .noise import CONFUSABLE, MERGES, SPLITS, NoiseModel
+from .speech import HOMOPHONES, SimulatedSpeechEngine
+
+__all__ = [
+    "Dataset",
+    "Document",
+    "make_ca",
+    "make_db",
+    "make_lt",
+    "make_scale",
+    "SimulatedOcrEngine",
+    "stable_seed",
+    "true_match_count",
+    "true_matches",
+    "CONFUSABLE",
+    "MERGES",
+    "SPLITS",
+    "NoiseModel",
+    "HOMOPHONES",
+    "SimulatedSpeechEngine",
+]

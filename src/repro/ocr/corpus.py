@@ -1,0 +1,211 @@
+"""Synthetic corpora standing in for the paper's scanned datasets.
+
+The paper evaluates on three real-world scan sets (Table 2): acts of the
+U.S. Congress from the Hathi Trust (CA), an English-literature book from
+JSTOR (LT), and self-scanned database papers (DB), plus a Google Books set
+for scalability (Figure 10).  We cannot ship those scans, so each
+generator below produces ground-truth text with the same *statistical
+role*: the CA corpus contains legal boilerplate and citation patterns
+(``U.S.C. 2\\d\\d\\d``, ``Public Law (8|9)\\d``); LT contains literary prose
+with proper names and date patterns; DB contains systems-paper vocabulary
+(``Trio``, ``lineage``, ``Sec.``).  The 21-query workload of paper
+Table 6 therefore has non-trivial ground-truth matches against every
+corpus, which is all the recall/precision mechanics need (see the
+substitution table in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .engine import stable_seed
+
+__all__ = ["Document", "Dataset", "make_ca", "make_lt", "make_db", "make_scale"]
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    """One scanned document: metadata plus its ground-truth lines."""
+
+    doc_id: int
+    name: str
+    year: int
+    loss: float
+    lines: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class Dataset:
+    """A named collection of documents, with global line addressing."""
+
+    name: str
+    documents: list[Document] = field(default_factory=list)
+
+    def lines(self) -> list[tuple[int, int, int, str]]:
+        """All lines as ``(line_id, doc_id, line_no, text)`` tuples; the
+        ``line_id`` is the dataset-global SFA id."""
+        out = []
+        line_id = 0
+        for doc in self.documents:
+            for line_no, text in enumerate(doc.lines):
+                out.append((line_id, doc.doc_id, line_no, text))
+                line_id += 1
+        return out
+
+    @property
+    def num_lines(self) -> int:
+        """Total lines across all documents."""
+        return sum(len(doc.lines) for doc in self.documents)
+
+    def text_size(self) -> int:
+        """Total ground-truth text size in bytes (Table 2, 'Size as Text')."""
+        return sum(len(text) for _, _, _, text in self.lines())
+
+
+_CA_SUBJECTS = [
+    "the Attorney General", "the President", "the Commission",
+    "the Secretary of State", "the Congress", "the Senate Committee",
+    "the United States", "the Comptroller General", "the Administrator",
+]
+_CA_VERBS = [
+    "shall submit", "may authorize", "shall establish", "is directed to fund",
+    "shall report on", "may terminate", "shall review", "is required to audit",
+]
+_CA_OBJECTS = [
+    "employment programs", "appropriations for defense", "the annual budget",
+    "veteran employment services", "public works construction",
+    "interstate commerce rules", "the education grants", "customs enforcement",
+]
+
+
+def _ca_line(rng: random.Random) -> str:
+    roll = rng.random()
+    if roll < 0.18:
+        return (
+            f"SEC. {rng.randint(2, 99)}. As codified under "
+            f"U.S.C. 2{rng.randint(0, 999):03d} and related titles"
+        )
+    if roll < 0.34:
+        return (
+            f"Public Law {rng.randint(80, 99)} amended by Public "
+            f"Law {rng.randint(70, 99)} of the Congress"
+        )
+    if roll < 0.5:
+        return (
+            f"{rng.choice(_CA_SUBJECTS)} {rng.choice(_CA_VERBS)} "
+            f"{rng.choice(_CA_OBJECTS)} in fiscal year 19{rng.randint(60, 89)}"
+        )
+    return (
+        f"{rng.choice(_CA_SUBJECTS)} {rng.choice(_CA_VERBS)} "
+        f"{rng.choice(_CA_OBJECTS)}"
+    )
+
+
+_LT_NAMES = ["Brinkmann", "Jonathan", "Kerouac", "Hitler", "Marlowe", "Woolf"]
+_LT_PHRASES = [
+    "wandered along the riverbank at dusk",
+    "recalled the Third Reich with dread",
+    "wrote in a spontaneous burst of prose",
+    "read the manuscript aloud to the circle",
+    "argued about the novel over coffee",
+    "kept a journal of the long winter",
+]
+
+
+def _lt_line(rng: random.Random) -> str:
+    roll = rng.random()
+    if roll < 0.22:
+        return (
+            f"In 19{rng.randint(10, 69):02d}, {rng.randint(10, 99)} letters "
+            f"from {rng.choice(_LT_NAMES)} survived the war"
+        )
+    if roll < 0.4:
+        return (
+            f"{rng.choice(_LT_NAMES)} and {rng.choice(_LT_NAMES)} "
+            f"{rng.choice(_LT_PHRASES)}"
+        )
+    return f"{rng.choice(_LT_NAMES)} {rng.choice(_LT_PHRASES)}"
+
+
+_DB_TOPICS = [
+    "query optimization", "probabilistic databases", "lineage tracking",
+    "uncertain data models", "confidence computation", "indexing methods",
+]
+_DB_CLAIMS = [
+    "improves accuracy on skewed workloads",
+    "bounds the confidence of each answer",
+    "stores lineage for every derived tuple",
+    "scales the database to many machines",
+    "reduces accuracy loss during pruning",
+    "materializes views over the database",
+]
+
+
+def _db_line(rng: random.Random) -> str:
+    roll = rng.random()
+    if roll < 0.2:
+        return (
+            f"Sec {rng.randint(1, 9)} shows the Trio system "
+            f"{rng.choice(_DB_CLAIMS)}"
+        )
+    if roll < 0.36:
+        return (
+            f"As shown in Table {rng.randint(1, 9)}{rng.randint(0, 9)} "
+            f"the approach {rng.choice(_DB_CLAIMS)}"
+        )
+    if roll < 0.5:
+        return f"Trio evaluates {rng.choice(_DB_TOPICS)} with high accuracy"
+    return f"Work on {rng.choice(_DB_TOPICS)} {rng.choice(_DB_CLAIMS)}"
+
+
+def _build(
+    name: str,
+    line_maker,
+    num_docs: int,
+    lines_per_doc: int,
+    seed: int,
+    year_range: tuple[int, int] = (2005, 2012),
+) -> Dataset:
+    dataset = Dataset(name=name)
+    for doc_id in range(num_docs):
+        rng = random.Random(stable_seed(name, seed, doc_id))
+        lines = tuple(line_maker(rng) for _ in range(lines_per_doc))
+        dataset.documents.append(
+            Document(
+                doc_id=doc_id,
+                name=f"{name}-doc-{doc_id:03d}",
+                year=rng.randint(*year_range),
+                loss=round(rng.uniform(1_000.0, 250_000.0), 2),
+                lines=lines,
+            )
+        )
+    return dataset
+
+
+def make_ca(num_docs: int = 8, lines_per_doc: int = 25, seed: int = 0) -> Dataset:
+    """Congress-Acts-style corpus (paper's CA dataset role)."""
+    return _build("CA", _ca_line, num_docs, lines_per_doc, seed)
+
+
+def make_lt(num_docs: int = 8, lines_per_doc: int = 22, seed: int = 0) -> Dataset:
+    """English-literature-style corpus (paper's LT dataset role)."""
+    return _build("LT", _lt_line, num_docs, lines_per_doc, seed)
+
+
+def make_db(num_docs: int = 6, lines_per_doc: int = 18, seed: int = 0) -> Dataset:
+    """Database-papers-style corpus (paper's DB dataset role)."""
+    return _build("DB", _db_line, num_docs, lines_per_doc, seed)
+
+
+def make_scale(num_lines: int, seed: int = 0) -> Dataset:
+    """A Google-Books-style corpus of arbitrary size (Figure 10).
+
+    Mixes the three line generators so the scalability sweep sees the same
+    content distribution at every size.
+    """
+    makers = [_ca_line, _lt_line, _db_line]
+    rng = random.Random(stable_seed("SCALE", seed))
+    lines = tuple(makers[i % 3](rng) for i in range(num_lines))
+    doc = Document(doc_id=0, name="scale-books", year=2010, loss=0.0, lines=lines)
+    return Dataset(name="SCALE", documents=[doc])

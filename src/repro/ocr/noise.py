@@ -1,0 +1,171 @@
+"""The glyph-confusion noise model behind the simulated OCR engine.
+
+Real OCR uncertainty comes from visually confusable glyphs ('o'/'0',
+'l'/'1'/'I'), from glyph merges ('r'+'n' read as 'm') and splits ('m' read
+as 'r'+'n'), and from unreliable inter-word spacing (paper Sections 1-2).
+This module encodes those confusion channels; :mod:`repro.ocr.engine`
+turns them into SFA structure.
+
+The model is deliberately *generative and seeded*: every call site passes
+its own ``random.Random`` so corpora are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+__all__ = ["CONFUSABLE", "MERGES", "SPLITS", "NoiseModel"]
+
+# Classic OCR confusion table: visually similar glyph alternatives.
+CONFUSABLE: dict[str, str] = {
+    "o": "0ce", "O": "0QD", "0": "Oo",
+    "l": "1It", "I": "l1", "1": "lI", "i": "l!",
+    "e": "co", "c": "eo", "a": "ou", "u": "vn", "v": "uy",
+    "n": "uh", "h": "bn", "b": "h6", "6": "bG",
+    "s": "5S", "S": "58", "5": "Ss",
+    "B": "8E", "8": "B3", "3": "8E", "E": "B3",
+    "g": "9q", "q": "g9", "9": "gq",
+    "Z": "2z", "z": "2Z", "2": "Zz",
+    "d": "cl", "t": "fl", "f": "t1",
+    "r": "n", "m": "n", "w": "v",
+    "G": "C6", "C": "GO", "D": "O0",
+    "P": "FR", "F": "PE", "R": "PB",
+    "T": "I7", "7": "T1", "4": "A9", "A": "4",
+    ".": ",", ",": ".", " ": "_",
+    "%": "Z", "$": "S", "&": "8",
+}
+
+# Adjacent glyph pairs commonly merged into one character by segmentation.
+MERGES: dict[str, str] = {
+    "rn": "m", "vv": "w", "cl": "d", "ri": "n",
+    "ni": "m", "IJ": "U", "LI": "U", "l1": "H",
+}
+
+# Single glyphs commonly split into two by segmentation.
+SPLITS: dict[str, str] = {
+    "m": "rn", "w": "vv", "d": "cl", "n": "ri", "H": "l1", "U": "IJ",
+}
+
+_FALLBACK = string.ascii_lowercase + string.digits
+
+#: Characters that receive a tiny smoothing weight at every position,
+#: mimicking OCRopus transducers which "contain a weighted arc for every
+#: ASCII character" (paper Section 2.2).  This is what makes FullSFA both
+#: huge and recall-perfect-but-precision-poor: every line matches every
+#: query with some small probability.
+DEFAULT_TAIL = (
+    string.ascii_lowercase + string.ascii_uppercase + string.digits + " ."
+)
+
+
+class NoiseModel:
+    """Parameterized OCR noise channel.
+
+    ``severity`` in [0, 1) scales how much probability mass leaves the true
+    glyph; ``max_alternatives`` bounds the per-position branching factor
+    (real OCRopus SFAs weight *every* ASCII character; we keep the support
+    small so exact computations stay tractable, which preserves the shape
+    of every experiment -- see DESIGN.md).  ``merge_prob`` / ``split_prob``
+    / ``space_drop_prob`` control the structural branching events.
+    """
+
+    def __init__(
+        self,
+        severity: float = 0.25,
+        max_alternatives: int = 4,
+        merge_prob: float = 0.5,
+        split_prob: float = 0.4,
+        space_drop_prob: float = 0.35,
+        hard_error_rate: float = 0.03,
+        hard_error_rate_hard_glyphs: float = 0.14,
+        tail_chars: str = DEFAULT_TAIL,
+        tail_mass: float = 0.02,
+    ) -> None:
+        if not 0.0 <= severity < 1.0:
+            raise ValueError(f"severity must be in [0, 1), got {severity}")
+        if max_alternatives < 1:
+            raise ValueError("max_alternatives must be at least 1")
+        if not 0.0 <= tail_mass < 1.0:
+            raise ValueError(f"tail_mass must be in [0, 1), got {tail_mass}")
+        self.severity = severity
+        self.max_alternatives = max_alternatives
+        self.merge_prob = merge_prob
+        self.split_prob = split_prob
+        self.space_drop_prob = space_drop_prob
+        self.hard_error_rate = hard_error_rate
+        self.hard_error_rate_hard_glyphs = hard_error_rate_hard_glyphs
+        self.tail_chars = tail_chars
+        self.tail_mass = tail_mass
+
+    # ------------------------------------------------------------------
+    def alternatives(
+        self, char: str, rng: random.Random, forbidden: set[str] | None = None
+    ) -> list[tuple[str, float]]:
+        """Single-character alternatives for one glyph, most likely first.
+
+        The true character usually survives with the largest share, but a
+        *hard error* demotes it below the best confusable with rate
+        ``hard_error_rate`` (``hard_error_rate_hard_glyphs`` for digits and
+        punctuation, which real OCR garbles far more often -- this is what
+        drives the paper's observation that regex queries have much lower
+        MAP recall than keyword queries).  The alternatives are distinct
+        and never drawn from ``forbidden`` (the engine uses that to
+        preserve the unique-paths property around merge/split branches).
+        """
+        forbidden = forbidden or set()
+        noise = self.severity * (0.4 + 0.6 * rng.random())
+        pool = [c for c in CONFUSABLE.get(char, "") if c != char and c not in forbidden]
+        if not pool:
+            pool = [c for c in _FALLBACK if c != char and c not in forbidden]
+        count = min(len(pool), rng.randint(1, self.max_alternatives - 1))
+        if count == 0 or noise <= 0.0:
+            return self._with_tail([(char, 1.0)], forbidden)
+        chosen = pool[:count]
+        weights = [rng.random() + 0.1 for _ in chosen]
+        total = sum(weights)
+        result = [(char, 1.0 - noise)]
+        result.extend(
+            (alt, noise * w / total) for alt, w in zip(chosen, weights)
+        )
+        if rng.random() < self._hard_rate_for(char):
+            # Hard error: the recognizer's best guess is wrong -- swap the
+            # probabilities of the true glyph and its strongest confusable.
+            (true_char, true_p), (alt_char, alt_p) = result[0], result[1]
+            result[0] = (true_char, alt_p)
+            result[1] = (alt_char, true_p)
+        return self._with_tail(result, forbidden)
+
+    def _with_tail(
+        self, result: list[tuple[str, float]], forbidden: set[str]
+    ) -> list[tuple[str, float]]:
+        """Smooth the distribution over the tail alphabet.
+
+        Every tail character not already present gets an equal share of
+        ``tail_mass``; the main alternatives are scaled down to keep the
+        total at 1.
+        """
+        if self.tail_mass <= 0.0 or not self.tail_chars:
+            return result
+        present = {c for c, _ in result} | forbidden
+        extras = [c for c in self.tail_chars if c not in present]
+        if not extras:
+            return result
+        share = self.tail_mass / len(extras)
+        scale = 1.0 - self.tail_mass
+        smoothed = [(c, p * scale) for c, p in result]
+        smoothed.extend((c, share) for c in extras)
+        return smoothed
+
+    def _hard_rate_for(self, char: str) -> float:
+        if char.isdigit() or char in ".,;:'\"!?-()":
+            return self.hard_error_rate_hard_glyphs
+        return self.hard_error_rate
+
+    def merge_for(self, bigram: str) -> str | None:
+        """The merged glyph for an adjacent pair, if one exists."""
+        return MERGES.get(bigram)
+
+    def split_for(self, char: str) -> str | None:
+        """The two-glyph split for a character, if one exists."""
+        return SPLITS.get(char)

@@ -1,0 +1,135 @@
+"""Speech transcription lattices (the paper's second future-work item).
+
+Section 7: "we aim to extend our techniques to more types of
+content-management data such as speech transcription data.
+Interestingly, transducers provide a unifying formal framework for both
+transcription processes."  A speech recognizer's per-utterance output is
+a *word lattice* -- exactly a generalized SFA whose edge emissions are
+whole words rather than characters.  Because :mod:`repro.core` and
+:mod:`repro.query` operate on generalized SFAs, the entire Staccato
+machinery (k-MAP, chunk approximation, query evaluation, indexing)
+applies to these lattices unchanged; this module only supplies the
+simulated recognizer.
+
+The noise channel mirrors classic ASR confusions: homophone/near-
+homophone substitutions, word deletions (a skipped filler), and
+split/merge of adjacent words.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sfa.model import Sfa
+from .engine import stable_seed
+
+__all__ = ["HOMOPHONES", "SimulatedSpeechEngine"]
+
+# Near-homophone confusion table for the lattice alternatives.
+HOMOPHONES: dict[str, tuple[str, ...]] = {
+    "two": ("to", "too"), "to": ("two", "too"), "too": ("two", "to"),
+    "there": ("their", "they're"), "their": ("there",),
+    "right": ("write", "rite"), "write": ("right",),
+    "four": ("for", "fore"), "for": ("four",),
+    "ate": ("eight",), "eight": ("ate",),
+    "new": ("knew", "gnu"), "knew": ("new",),
+    "claim": ("clam", "claims"), "claims": ("claim",),
+    "loss": ("lost", "laws"), "lost": ("loss",),
+    "law": ("lore", "laws"), "laws": ("law", "loss"),
+    "ford": ("fort", "forward"), "year": ("ear", "years"),
+    "public": ("publish",), "president": ("precedent",),
+}
+
+_FILLERS = ("uh", "um", "the", "a")
+
+
+class SimulatedSpeechEngine:
+    """Deterministic (seeded) speech recognizer emitting word lattices.
+
+    ``recognize_utterance`` turns a ground-truth sentence into a
+    generalized SFA: one edge per word carrying the true word plus
+    near-homophones, with occasional structural deletions (a low-weight
+    skip edge that drops a filler word).  Outgoing probabilities are
+    normalized at every node; the unique-paths property holds because
+    all emissions leaving a node are distinct words (compared with their
+    separators included).
+    """
+
+    def __init__(
+        self,
+        word_error_rate: float = 0.25,
+        deletion_prob: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= word_error_rate < 1.0:
+            raise ValueError("word_error_rate must be in [0, 1)")
+        self.word_error_rate = word_error_rate
+        self.deletion_prob = deletion_prob
+        self.seed = seed
+
+    def _alternatives(
+        self, word: str, rng: random.Random
+    ) -> list[tuple[str, float]]:
+        lower = word.lower()
+        pool = [w for w in HOMOPHONES.get(lower, ()) if w != lower]
+        if not pool:
+            # Generic acoustic confusion: a truncation or an 's' flip.
+            mangled = lower[:-1] if len(lower) > 3 else lower + "s"
+            pool = [mangled] if mangled != lower else []
+        noise = self.word_error_rate * (0.5 + 0.5 * rng.random())
+        if not pool:
+            return [(word, 1.0)]
+        weights = [rng.random() + 0.1 for _ in pool]
+        total = sum(weights)
+        result = [(word, 1.0 - noise)]
+        result.extend(
+            (alt, noise * w / total) for alt, w in zip(pool, weights)
+        )
+        return result
+
+    def recognize_utterance(
+        self, sentence: str, utterance_seed: object = None
+    ) -> Sfa:
+        """One spoken sentence -> a word-lattice SFA.
+
+        Word emissions carry a trailing space except at the final
+        position, so concatenating a path spells the transcript with
+        ordinary word boundaries and text queries work unchanged.
+        """
+        words = sentence.split()
+        if not words:
+            raise ValueError("cannot recognize an empty utterance")
+        rng = random.Random(
+            stable_seed("speech", self.seed, sentence, utterance_seed)
+        )
+        sfa = Sfa(start=0, final=len(words))
+        for i, word in enumerate(words):
+            suffix = " " if i + 1 < len(words) else ""
+            alternatives = self._alternatives(word, rng)
+            drop = (
+                word.lower() in _FILLERS
+                and i + 2 <= len(words)
+                and rng.random() < self.deletion_prob
+            )
+            if drop:
+                weight = 0.1 + 0.2 * rng.random()
+                next_word = words[i + 1]
+                next_suffix = " " if i + 2 < len(words) else ""
+                taken = {w for w, _ in alternatives}
+                if next_word.lower() not in taken:
+                    scale = 1.0 - weight
+                    sfa.add_edge(
+                        i,
+                        i + 1,
+                        [(w + suffix, p * scale) for w, p in alternatives],
+                    )
+                    sfa.add_edge(
+                        i,
+                        min(i + 2, sfa.final),
+                        [(next_word + next_suffix, weight)],
+                    )
+                    continue
+            sfa.add_edge(
+                i, i + 1, [(w + suffix, p) for w, p in alternatives]
+            )
+        return sfa

@@ -1,0 +1,29 @@
+"""Query evaluation over the k-MAP representation.
+
+Each stored string of a line is a disjoint probabilistic event, so the
+probability that the line matches is simply the sum of the probabilities
+of the stored strings the DFA accepts (paper Section 3, "Baseline
+Approaches").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..automata.dfa import Dfa
+
+__all__ = ["match_probability_strings", "matching_strings"]
+
+
+def match_probability_strings(
+    strings: Iterable[tuple[str, float]], query: Dfa
+) -> float:
+    """Summed probability of the stored strings accepted by ``query``."""
+    return sum(prob for text, prob in strings if query.accepts(text))
+
+
+def matching_strings(
+    strings: Iterable[tuple[str, float]], query: Dfa
+) -> list[tuple[str, float]]:
+    """The accepted subset, in storage (rank) order."""
+    return [(text, prob) for text, prob in strings if query.accepts(text)]

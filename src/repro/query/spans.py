@@ -1,0 +1,109 @@
+"""Non-Boolean queries: where do matches occur, and how many are expected?
+
+Paper Section 2.2 notes that beyond Boolean LIKE predicates, "Staccato
+handles non-Boolean queries using algorithms in Kimelfeld and Re [34]" --
+transducer queries whose output is the *locations* of matches over the
+uncertain document.  This module implements the two primitives
+applications actually consume:
+
+* :func:`expected_matches_at` -- for every SFA location (node, offset),
+  the expected number of pattern occurrences *starting* there.  This is
+  the probabilistic analogue of a posting list and is what an extraction
+  pipeline aggregates.
+* :func:`expected_match_count` -- the expected total number of
+  occurrences in the line (by linearity, the sum of the above; compare
+  with the Boolean ``match_probability``, which is P[at least one]).
+
+Both are exact dynamic programs under the unique-paths property.
+"""
+
+from __future__ import annotations
+
+from ..automata import dfa
+from ..automata.dfa import Dfa
+from ..sfa.model import Sfa
+from ..sfa.ops import backward_mass, forward_mass, topological_order
+
+__all__ = ["MatchSite", "expected_matches_at", "expected_match_count"]
+
+MatchSite = tuple[int, int, int, int]  # (u, v, rank, offset)
+
+
+def expected_matches_at(
+    sfa: Sfa, query: Dfa
+) -> dict[MatchSite, float]:
+    """Expected number of occurrences starting at each location.
+
+    ``query`` must be an *exact-match* DFA (``match_anywhere=False``): an
+    occurrence at a location means the pattern matches the emitted text
+    beginning exactly there.  A location is ``(u, v, rank, offset)`` --
+    the same addressing the inverted index uses for postings.
+
+    The DP runs one exact-DFA instance from every offset of every stored
+    string; runs that survive an edge continue into every successor
+    emission weighted by its probability, and whenever a run is in an
+    accepting state the (start-location, mass) pair is credited.  Because
+    expectation is linear, overlapping occurrences need no inclusion-
+    exclusion -- which is exactly why this query is tractable while
+    "P[at least one match]" needs the Boolean evaluator.
+    """
+    if query.match_anywhere:
+        raise ValueError(
+            "expected_matches_at needs an exact-match DFA; compile the "
+            "pattern with match_anywhere=False"
+        )
+    forward = forward_mass(sfa)
+    backward = backward_mass(sfa)
+    expected: dict[MatchSite, float] = {}
+    # live[node]: dict[(site, state)] -> mass of paths carrying that run.
+    live: dict[int, dict[tuple[MatchSite, int], float]] = {
+        node: {} for node in sfa.nodes
+    }
+    for node in topological_order(sfa):
+        incoming = live[node]
+        for succ in set(sfa.successors(node)):
+            for rank, emission in enumerate(sfa.emissions(node, succ)):
+                text = emission.string
+                weight = emission.prob
+                # Continue runs arriving from predecessor edges.
+                for (site, state), mass in incoming.items():
+                    current = state
+                    carried = mass * weight
+                    dead = False
+                    for ch in text:
+                        current = query.step(current, ch)
+                        if current == dfa.DEAD:
+                            dead = True
+                            break
+                        if query.is_accepting(current):
+                            expected[site] = (
+                                expected.get(site, 0.0) + carried * backward[succ]
+                            )
+                    if not dead:
+                        key = (site, current)
+                        live[succ][key] = live[succ].get(key, 0.0) + carried
+                # Start fresh runs at every offset of this string.
+                path_mass = forward[node] * weight
+                for offset in range(len(text)):
+                    site = (node, succ, rank, offset)
+                    current = query.start
+                    dead = False
+                    for ch in text[offset:]:
+                        current = query.step(current, ch)
+                        if current == dfa.DEAD:
+                            dead = True
+                            break
+                        if query.is_accepting(current):
+                            expected[site] = (
+                                expected.get(site, 0.0)
+                                + path_mass * backward[succ]
+                            )
+                    if not dead:
+                        key = (site, current)
+                        live[succ][key] = live[succ].get(key, 0.0) + path_mass
+    return expected
+
+
+def expected_match_count(sfa: Sfa, query: Dfa) -> float:
+    """Expected total number of occurrences in the line (linearity)."""
+    return sum(expected_matches_at(sfa, query).values())

@@ -1,0 +1,107 @@
+"""AT&T / OpenFST text-format interop for SFAs.
+
+OCRopus emits its transducers in the OpenFST ecosystem (paper Section 1,
+footnote: "Our prototype uses the same weighted finite state transducer
+model that is used by OpenFST and OCRopus").  The AT&T text format is the
+ecosystem's interchange representation:
+
+    src  dst  input  output  weight      # one line per arc
+    final_state  [weight]                # one line per final state
+
+We read and write the *acceptor* flavour (input == output == the emitted
+string) with either probability weights or negative-log weights (OpenFST's
+log semiring, paper footnote 5: "the shortest path corresponds to the most
+likely string").  Symbols containing spaces are escaped with the
+conventional ``<space>`` token; ``<epsilon>`` is rejected because SFAs
+have no epsilon emissions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .model import Sfa, SfaError
+
+__all__ = ["to_att", "from_att"]
+
+_SPACE = "<space>"
+_EPSILON = "<epsilon>"
+
+
+def _encode_symbol(string: str) -> str:
+    if not string:
+        raise SfaError("cannot encode an empty emission")
+    return string.replace(" ", _SPACE)
+
+
+def _decode_symbol(token: str) -> str:
+    if token == _EPSILON:
+        raise SfaError("epsilon arcs are not valid in an SFA")
+    return token.replace(_SPACE, " ")
+
+
+def to_att(sfa: Sfa, log_weights: bool = True) -> str:
+    """Serialize to AT&T text format.
+
+    ``log_weights=True`` writes OpenFST-style negative log probabilities
+    (the tropical/log-semiring convention); ``False`` writes raw
+    probabilities.
+    """
+    lines = []
+    for u, v in sorted(sfa.edges):
+        for emission in sfa.emissions(u, v):
+            if log_weights:
+                weight = (
+                    -math.log(emission.prob) if emission.prob > 0 else math.inf
+                )
+            else:
+                weight = emission.prob
+            symbol = _encode_symbol(emission.string)
+            lines.append(f"{u}\t{v}\t{symbol}\t{symbol}\t{weight:.12g}")
+    lines.append(f"{sfa.final}")
+    return "\n".join(lines) + "\n"
+
+
+def from_att(text: str, log_weights: bool = True, start: int | None = None) -> Sfa:
+    """Parse the AT&T text format produced by :func:`to_att` (or by
+    OpenFST's ``fstprint`` for acceptors).
+
+    The start state defaults to the source of the first arc, per the
+    OpenFST convention; pass ``start`` to override.  Arcs between the same
+    state pair are merged onto one SFA edge.
+    """
+    arcs: list[tuple[int, int, str, float]] = []
+    finals: list[int] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t") if "\t" in line else line.split()
+        if len(fields) in (1, 2):
+            finals.append(int(fields[0]))
+            continue
+        if len(fields) not in (4, 5):
+            raise SfaError(f"malformed AT&T line {line_no}: {raw!r}")
+        src, dst = int(fields[0]), int(fields[1])
+        symbol_in = _decode_symbol(fields[2])
+        symbol_out = _decode_symbol(fields[3])
+        if symbol_in != symbol_out:
+            raise SfaError(
+                f"line {line_no}: transducer arc ({symbol_in!r} != "
+                f"{symbol_out!r}); only acceptors map onto SFAs"
+            )
+        weight = float(fields[4]) if len(fields) == 5 else (0.0 if log_weights else 1.0)
+        prob = math.exp(-weight) if log_weights else weight
+        arcs.append((src, dst, symbol_out, prob))
+    if not arcs:
+        raise SfaError("AT&T text contains no arcs")
+    if len(finals) != 1:
+        raise SfaError(f"expected exactly one final state, got {finals}")
+    start_state = arcs[0][0] if start is None else start
+    sfa = Sfa(start=start_state, final=finals[0])
+    by_edge: dict[tuple[int, int], list[tuple[str, float]]] = {}
+    for src, dst, symbol, prob in arcs:
+        by_edge.setdefault((src, dst), []).append((symbol, prob))
+    for (src, dst), emissions in by_edge.items():
+        sfa.add_edge(src, dst, emissions)
+    return sfa

@@ -1,0 +1,164 @@
+"""Convenience constructors for SFAs.
+
+Used by tests, examples and benchmarks: the chain SFA of the paper's
+Table 1 cost model, the Figure 1 'Ford' example, the Figure 2 and Figure 3
+pedagogical automata, and seeded random DAG generators for property-based
+testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .model import Sfa
+
+__all__ = [
+    "chain_sfa",
+    "from_string",
+    "figure1_sfa",
+    "figure2_sfa",
+    "figure3_sfa",
+    "random_chain_sfa",
+    "random_dag_sfa",
+]
+
+
+def chain_sfa(alternatives: Sequence[Sequence[tuple[str, float]]]) -> Sfa:
+    """A chain SFA: node ``i`` -> ``i+1`` with the given emission list.
+
+    ``alternatives[i]`` is the list of ``(string, prob)`` choices at
+    position ``i``.  This is the "simple chain SFA (no branching)" of the
+    paper's Table 1.
+    """
+    if not alternatives:
+        raise ValueError("a chain SFA needs at least one position")
+    sfa = Sfa(start=0, final=len(alternatives))
+    for i, emissions in enumerate(alternatives):
+        sfa.add_edge(i, i + 1, emissions)
+    return sfa
+
+
+def from_string(text: str) -> Sfa:
+    """A deterministic chain SFA emitting exactly ``text``."""
+    if not text:
+        raise ValueError("cannot build an SFA for the empty string")
+    return chain_sfa([[(ch, 1.0)] for ch in text])
+
+
+def figure1_sfa() -> Sfa:
+    """The paper's Figure 1(B): the 'Ford' / 'F0 rd' insurance example.
+
+    MAP string is 'F0 rd' (prob ~0.21); the string 'Ford' exists with
+    probability ~0.12 but is lost by the MAP approach.
+    """
+    sfa = Sfa(start=0, final=5)
+    sfa.add_edge(0, 1, [("F", 0.8), ("T", 0.2)])
+    sfa.add_edge(1, 2, [("0", 0.6), ("o", 0.4)])
+    sfa.add_edge(2, 3, [(" ", 0.6)])
+    sfa.add_edge(2, 4, [("r", 0.4)])
+    sfa.add_edge(3, 4, [("r", 0.8), ("m", 0.2)])
+    sfa.add_edge(4, 5, [("d", 0.9), ("3", 0.1)])
+    return sfa
+
+
+def figure2_sfa() -> Sfa:
+    """The paper's Figure 2: the 4-position chain used to contrast k-MAP
+    with Staccato's ``k**m`` string count."""
+    return chain_sfa(
+        [
+            [("a", 0.6), ("p", 0.2), ("w", 0.1), ("e", 0.1)],
+            [("b", 0.5), ("q", 0.3), ("x", 0.2)],
+            [("c", 0.4), ("r", 0.3), ("y", 0.1), ("g", 0.2)],
+            [("d", 0.7), ("s", 0.2), ("z", 0.1)],
+        ]
+    )
+
+
+def figure3_sfa() -> Sfa:
+    """The paper's Figure 3(A): emits exactly 'aef' and 'abcd'.
+
+    Structure: 0 -a-> 1, then either 1 -e-> 4 -f-> 5 or
+    1 -b-> 2 -c-> 3 -d-> 5.  Probabilities are added (the paper omits them
+    for readability): the 'aef' branch gets 0.6, 'abcd' gets 0.4.
+    """
+    sfa = Sfa(start=0, final=5)
+    sfa.add_edge(0, 1, [("a", 1.0)])
+    sfa.add_edge(1, 4, [("e", 0.6)])
+    sfa.add_edge(4, 5, [("f", 1.0)])
+    sfa.add_edge(1, 2, [("b", 0.4)])
+    sfa.add_edge(2, 3, [("c", 1.0)])
+    sfa.add_edge(3, 5, [("d", 1.0)])
+    return sfa
+
+
+def _random_emissions(
+    rng: random.Random, alphabet: str, max_choices: int
+) -> list[tuple[str, float]]:
+    count = rng.randint(1, max_choices)
+    chars = rng.sample(alphabet, min(count, len(alphabet)))
+    weights = [rng.random() + 0.05 for _ in chars]
+    total = sum(weights)
+    return [(ch, w / total) for ch, w in zip(chars, weights)]
+
+
+def random_chain_sfa(
+    rng: random.Random,
+    length: int,
+    alphabet: str = "abcdefgh",
+    max_choices: int = 4,
+) -> Sfa:
+    """A seeded random chain SFA (normalized, unique paths by design)."""
+    return chain_sfa(
+        [_random_emissions(rng, alphabet, max_choices) for _ in range(length)]
+    )
+
+
+def random_dag_sfa(
+    rng: random.Random,
+    length: int,
+    alphabet: str = "abcdefgh",
+    max_choices: int = 3,
+    branch_prob: float = 0.3,
+) -> Sfa:
+    """A seeded random *branching* SFA with the unique-paths property.
+
+    Built as a chain with occasional two-node parallel branches; the branch
+    emissions use upper-case characters so no string can be produced by two
+    different paths.  Outgoing probabilities at every node are normalized,
+    making the result a valid stochastic SFA.
+    """
+    sfa = Sfa(start=0, final=length + 1_000_000)
+    node = 0
+    next_aux = length + 1  # auxiliary node ids, disjoint from chain ids
+    position = 0
+    while position < length:
+        target = node + 1 if position + 1 < length else sfa.final
+        if rng.random() < branch_prob and position + 2 <= length:
+            # Diamond: node -> target2 directly and via an auxiliary node.
+            target2 = node + 2 if position + 2 < length else sfa.final
+            aux = next_aux
+            next_aux += 1
+            direct = _random_emissions(rng, alphabet, max_choices)
+            upper = alphabet.upper()
+            first = _random_emissions(rng, upper, max_choices)
+            second = _random_emissions(rng, upper, max_choices)
+            split = 0.4 + 0.2 * rng.random()
+            sfa.add_edge(
+                node, target2, [(s, p * split) for s, p in direct]
+            )
+            sfa.add_edge(
+                node, aux, [(s, p * (1.0 - split)) for s, p in first]
+            )
+            sfa.add_edge(aux, target2, second)
+            node = target2 if target2 != sfa.final else node
+            position += 2
+            if target2 == sfa.final:
+                return sfa
+        else:
+            sfa.add_edge(node, target, _random_emissions(rng, alphabet, max_choices))
+            node = target if target != sfa.final else node
+            position += 1
+            if target == sfa.final:
+                return sfa
+    return sfa

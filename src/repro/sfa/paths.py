@@ -1,0 +1,89 @@
+"""Most-likely-string extraction: MAP and k-MAP over SFAs.
+
+The paper's k-MAP baseline stores the ``k`` highest-probability strings of
+each line SFA (Section 3); Staccato applies the same extraction *inside*
+each chunk.  On a DAG with the unique-paths property the k best strings are
+the k best labeled paths, which a k-best extension of the Viterbi dynamic
+program computes exactly (the paper cites Viterbi [26] plus Yen's
+incremental variant [54]; on a DAG the merged-lists DP below is the
+standard equivalent and is what we use throughout).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from .model import Sfa
+from .ops import topological_order
+
+__all__ = ["k_best_strings", "map_string", "k_best_between"]
+
+
+def _merge_top_k(
+    candidates: Iterable[tuple[float, str]], k: int
+) -> list[tuple[float, str]]:
+    """Keep the ``k`` most probable candidates, ties broken by string."""
+    return heapq.nsmallest(k, candidates, key=lambda c: (-c[0], c[1]))
+
+
+def k_best_strings(sfa: Sfa, k: int) -> list[tuple[str, float]]:
+    """The ``k`` highest-probability strings of the whole SFA.
+
+    Returns at most ``k`` ``(string, prob)`` pairs sorted by descending
+    probability.  Distinct paths that happen to spell the same string (a
+    unique-paths violation) are merged by summing, then re-ranked, so the
+    result is always a set of distinct strings.
+    """
+    return k_best_between(sfa, sfa.start, sfa.final, k)
+
+
+def map_string(sfa: Sfa) -> tuple[str, float]:
+    """The maximum a-posteriori string (paper: what Google Books stores)."""
+    best = k_best_strings(sfa, 1)
+    if not best:
+        raise ValueError("SFA emits no strings")
+    return best[0]
+
+
+def k_best_between(
+    sfa: Sfa,
+    src: int,
+    dst: int,
+    k: int,
+    within: set[int] | None = None,
+) -> list[tuple[str, float]]:
+    """The ``k`` best strings along ``src``-to-``dst`` paths.
+
+    ``within`` optionally restricts the search to a node subset (used by
+    Staccato's ``Collapse`` to rank the strings of a chunk region,
+    paper Section 3.1).  Runs the k-best Viterbi DP in topological order:
+    every node keeps its top-k partial ``(prob, string)`` paths, merged
+    across incoming edges and emissions.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    best: dict[int, list[tuple[float, str]]] = {src: [(1.0, "")]}
+    for node in topological_order(sfa):
+        partials = best.get(node)
+        if not partials:
+            continue
+        if node == dst:
+            break
+        for succ in set(sfa.successors(node)):
+            if within is not None and succ not in within:
+                continue
+            extended = [
+                (prob * emission.prob, string + emission.string)
+                for prob, string in partials
+                for emission in sfa.emissions(node, succ)
+            ]
+            existing = best.get(succ, [])
+            best[succ] = _merge_top_k(existing + extended, k)
+    finished = best.get(dst, [])
+    # Merge duplicate strings (only possible without unique paths), re-rank.
+    by_string: dict[str, float] = {}
+    for prob, string in finished:
+        by_string[string] = by_string.get(string, 0.0) + prob
+    ranked = sorted(by_string.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k]

@@ -1,0 +1,118 @@
+"""Finite state transducers (paper Appendix A).
+
+OCRopus actually emits weighted finite-state *transducers*: automata whose
+arcs read a glyph symbol from an input alphabet and emit an ASCII string
+from an output alphabet, with a conditional probability.  The body of the
+paper simplifies FSTs to SFAs "only slightly for presentation"; this module
+keeps the faithful model and provides the projection onto the output
+alphabet that yields the SFA the rest of the system consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import Sfa, SfaError
+
+__all__ = ["Arc", "Transducer"]
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """One weighted arc: read ``glyph``, emit ``output``, with ``prob``."""
+
+    glyph: str
+    output: str
+    prob: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0 + 1e-12:
+            raise SfaError(f"arc probability {self.prob} outside [0, 1]")
+
+
+class Transducer:
+    """A stochastic FST over a DAG (input glyphs -> output ASCII strings).
+
+    Mirrors :class:`repro.sfa.model.Sfa` structurally; each edge carries
+    :class:`Arc` objects instead of plain emissions.  ``delta(e, glyph,
+    output)`` is the conditional probability of taking edge ``e`` while
+    reading ``glyph`` and emitting ``output``.
+    """
+
+    __slots__ = ("_succ", "_pred", "_arcs", "start", "final")
+
+    def __init__(self, start: int = 0, final: int = 1) -> None:
+        if start == final:
+            raise SfaError("start and final nodes must be distinct")
+        self._succ: dict[int, list[int]] = {start: [], final: []}
+        self._pred: dict[int, list[int]] = {start: [], final: []}
+        self._arcs: dict[tuple[int, int], list[Arc]] = {}
+        self.start = start
+        self.final = final
+
+    def add_node(self, node: int) -> int:
+        """Add an isolated node (no-op if present)."""
+        if node not in self._succ:
+            self._succ[node] = []
+            self._pred[node] = []
+        return node
+
+    def add_edge(self, u: int, v: int, arcs: list[Arc | tuple[str, str, float]]) -> None:
+        """Add edge (u, v) carrying the given arcs."""
+        if (u, v) in self._arcs:
+            raise SfaError(f"duplicate edge ({u}, {v})")
+        if not arcs:
+            raise SfaError(f"edge ({u}, {v}) must carry at least one arc")
+        normalized = [a if isinstance(a, Arc) else Arc(*a) for a in arcs]
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+        self._arcs[(u, v)] = sorted(
+            normalized, key=lambda a: (-a.prob, a.output, a.glyph)
+        )
+
+    @property
+    def nodes(self) -> list[int]:
+        """All node ids."""
+        return list(self._succ)
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges as (u, v) pairs."""
+        return list(self._arcs)
+
+    def arcs(self, u: int, v: int) -> list[Arc]:
+        """The weighted arcs on edge (u, v)."""
+        return list(self._arcs[(u, v)])
+
+    def input_alphabet(self) -> set[str]:
+        """All glyph symbols read by some arc."""
+        return {arc.glyph for arcs in self._arcs.values() for arc in arcs}
+
+    def output_alphabet(self) -> set[str]:
+        """All characters emitted by some arc."""
+        return {
+            ch
+            for arcs in self._arcs.values()
+            for arc in arcs
+            for ch in arc.output
+        }
+
+    def project_output(self) -> Sfa:
+        """Marginalize out the input alphabet, producing the SFA the paper
+        works with: arcs that emit the same string on the same edge merge
+        by probability summation."""
+        sfa = Sfa(self.start, self.final)
+        for node in self._succ:
+            sfa.add_node(node)
+        for (u, v), arcs in self._arcs.items():
+            merged: dict[str, float] = {}
+            for arc in arcs:
+                if not arc.output:
+                    raise SfaError(
+                        "epsilon outputs cannot be projected onto an SFA"
+                    )
+                merged[arc.output] = merged.get(arc.output, 0.0) + arc.prob
+            sfa.add_edge(u, v, list(merged.items()))
+        return sfa

@@ -1,0 +1,141 @@
+"""Yen's k-shortest-paths algorithm over SFAs (paper citation [54]).
+
+The paper computes top-k strings "using the standard Viterbi algorithm
+... To compute the top-k results more efficiently, we use an incremental
+variant by Yen et al".  :mod:`repro.sfa.paths` uses the merged-lists
+k-best Viterbi DP (equivalent on DAGs and simpler); this module provides
+the cited algorithm itself, both as a fidelity artifact and as an
+independent oracle the test suite cross-checks the DP against.
+
+Weights follow the OpenFST convention of footnote 5: an emission of
+probability p costs ``-log p``, so the shortest path is the most likely
+string and path cost sums correspond to probability products.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from .model import Sfa
+
+__all__ = ["yen_k_best_strings"]
+
+# A labeled step along a path: (node, emission index within its edge).
+_Step = tuple[int, int]
+
+
+def _labeled_successors(
+    sfa: Sfa, node: int, banned_steps: set[tuple[int, _Step]]
+) -> list[tuple[int, int, float, str]]:
+    """(succ, emission index, cost, string) choices leaving ``node``."""
+    out = []
+    for succ in set(sfa.succ(node)):
+        for idx, emission in enumerate(sfa.emissions(node, succ)):
+            if (node, (succ, idx)) in banned_steps:
+                continue
+            if emission.prob <= 0.0:
+                continue
+            out.append((succ, idx, -math.log(emission.prob), emission.string))
+    return out
+
+
+def _shortest_path(
+    sfa: Sfa,
+    source: int,
+    banned_steps: set[tuple[int, _Step]],
+    banned_nodes: set[int],
+) -> tuple[float, list[_Step], str] | None:
+    """Dijkstra from ``source`` to the final node under the bans.
+
+    Costs are non-negative (-log p), so Dijkstra is exact.  Returns
+    (cost, labeled steps, emitted string) or None.
+    """
+    best: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int, list[_Step], str]] = [(0.0, source, [], "")]
+    while heap:
+        cost, node, steps, text = heapq.heappop(heap)
+        if node == sfa.final:
+            return cost, steps, text
+        if cost > best.get(node, math.inf):
+            continue
+        for succ, idx, step_cost, string in _labeled_successors(
+            sfa, node, banned_steps
+        ):
+            if succ in banned_nodes:
+                continue
+            new_cost = cost + step_cost
+            if new_cost < best.get(succ, math.inf) - 1e-15:
+                best[succ] = new_cost
+                heapq.heappush(
+                    heap, (new_cost, succ, steps + [(succ, idx)], text + string)
+                )
+    return None
+
+
+def yen_k_best_strings(sfa: Sfa, k: int) -> list[tuple[str, float]]:
+    """The k most probable strings via Yen's loopless k-shortest paths.
+
+    Under the unique-paths property the k best paths are the k best
+    strings.  Returns ``(string, probability)`` pairs sorted by
+    descending probability (ties by string, matching
+    :func:`repro.sfa.paths.k_best_strings`).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    first = _shortest_path(sfa, sfa.start, set(), set())
+    if first is None:
+        return []
+    accepted: list[tuple[float, list[_Step], str]] = [first]
+    candidates: list[tuple[float, str, list[_Step]]] = []
+    seen_candidates: set[str] = set()
+    while len(accepted) < k:
+        prev_cost, prev_steps, _prev_text = accepted[-1]
+        # Spur from every prefix of the last accepted path.
+        prefix_nodes = [sfa.start] + [node for node, _ in prev_steps]
+        for i in range(len(prev_steps)):
+            spur_node = prefix_nodes[i]
+            root_steps = prev_steps[:i]
+            # Ban the outgoing labeled steps used by accepted paths that
+            # share this root, and the root's interior nodes.
+            banned_steps: set[tuple[int, _Step]] = set()
+            for cost, steps, _text in accepted:
+                if steps[:i] == root_steps and len(steps) > i:
+                    banned_steps.add((spur_node, steps[i]))
+            banned_nodes = set(prefix_nodes[:i])
+            spur = _shortest_path(sfa, spur_node, banned_steps, banned_nodes)
+            if spur is None:
+                continue
+            spur_cost, spur_steps, spur_text = spur
+            root_cost = 0.0
+            root_text = []
+            node = sfa.start
+            for succ, idx in root_steps:
+                emission = sfa.emissions(node, succ)[idx]
+                root_cost += -math.log(emission.prob)
+                root_text.append(emission.string)
+                node = succ
+            total_steps = root_steps + spur_steps
+            total_text = "".join(root_text) + spur_text
+            key = "|".join(f"{n}:{i}" for n, i in total_steps)
+            if key in seen_candidates:
+                continue
+            seen_candidates.add(key)
+            heapq.heappush(
+                candidates,
+                (root_cost + spur_cost, total_text, total_steps),
+            )
+        if not candidates:
+            break
+        cost, text, steps = heapq.heappop(candidates)
+        accepted.append((cost, steps, text))
+    results = [
+        (text, math.exp(-cost)) for cost, _steps, text in accepted
+    ]
+    # Merge duplicate strings defensively (unique-paths violations) and
+    # re-rank exactly as paths.k_best_strings does.
+    merged: dict[str, float] = {}
+    for text, prob in results:
+        merged[text] = merged.get(text, 0.0) + prob
+    ranked = sorted(merged.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k]

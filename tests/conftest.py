@@ -1,0 +1,58 @@
+"""Shared fixtures: small SFAs, corpora and engines reused across tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ocr.corpus import make_ca, make_db, make_lt
+from repro.ocr.engine import SimulatedOcrEngine
+from repro.ocr.noise import NoiseModel
+from repro.sfa import builder
+
+
+@pytest.fixture
+def figure1():
+    return builder.figure1_sfa()
+
+
+@pytest.fixture
+def figure2():
+    return builder.figure2_sfa()
+
+
+@pytest.fixture
+def figure3():
+    return builder.figure3_sfa()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20110601)
+
+
+@pytest.fixture
+def ocr_engine():
+    return SimulatedOcrEngine(NoiseModel(), seed=11)
+
+
+@pytest.fixture
+def fast_ocr_engine():
+    """An engine without the smoothing tail: small SFAs, fast tests."""
+    return SimulatedOcrEngine(NoiseModel(tail_mass=0.0), seed=11)
+
+
+@pytest.fixture
+def tiny_ca():
+    return make_ca(num_docs=2, lines_per_doc=5)
+
+
+@pytest.fixture
+def tiny_lt():
+    return make_lt(num_docs=2, lines_per_doc=5)
+
+
+@pytest.fixture
+def tiny_db():
+    return make_db(num_docs=2, lines_per_doc=5)

@@ -1,0 +1,55 @@
+"""Hypothesis strategies for property-based tests.
+
+Central definitions so every test module draws the same kinds of SFAs:
+normalized random chains and branching DAGs with the unique-paths
+property, plus pattern strings from the paper's query language.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.sfa.builder import random_chain_sfa, random_dag_sfa
+from repro.sfa.model import Sfa
+
+__all__ = ["chain_sfas", "dag_sfas", "keyword_patterns", "regex_patterns"]
+
+
+@st.composite
+def chain_sfas(
+    draw, min_length: int = 1, max_length: int = 8, max_choices: int = 4
+) -> Sfa:
+    """Normalized random chain SFAs (unique paths by construction)."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    length = draw(st.integers(min_value=min_length, max_value=max_length))
+    return random_chain_sfa(random.Random(seed), length, max_choices=max_choices)
+
+
+@st.composite
+def dag_sfas(draw, min_length: int = 2, max_length: int = 10) -> Sfa:
+    """Normalized random branching SFAs (unique paths by construction)."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    length = draw(st.integers(min_value=min_length, max_value=max_length))
+    return random_dag_sfa(random.Random(seed), length)
+
+
+keyword_patterns = st.text(
+    alphabet="abcdefgh ", min_size=1, max_size=6
+).filter(lambda s: s.strip() == s and s)
+
+_ATOMS = st.sampled_from(["a", "b", "c", "\\d", "\\x", "(a|b)", "(c|\\d)"])
+
+
+@st.composite
+def regex_patterns(draw, max_atoms: int = 5) -> str:
+    """Random patterns in the paper's query language."""
+    count = draw(st.integers(min_value=1, max_value=max_atoms))
+    parts = []
+    for _ in range(count):
+        atom = draw(_ATOMS)
+        if draw(st.booleans()) and atom.startswith("("):
+            atom += "*"
+        parts.append(atom)
+    return "".join(parts)

@@ -1,0 +1,85 @@
+"""Tests for AT&T / OpenFST text-format interop (repro.sfa.att_format)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sfa.att_format import from_att, to_att
+from repro.sfa.model import SfaError
+from repro.sfa.ops import string_distribution
+
+from .strategies import dag_sfas
+
+
+class TestRoundTrip:
+    def test_figure1_log_weights(self, figure1):
+        text = to_att(figure1, log_weights=True)
+        back = from_att(text, log_weights=True)
+        want = string_distribution(figure1)
+        got = string_distribution(back)
+        assert set(got) == set(want)
+        for string in want:
+            assert got[string] == pytest.approx(want[string])
+
+    def test_figure1_probability_weights(self, figure1):
+        back = from_att(to_att(figure1, log_weights=False), log_weights=False)
+        assert back.structurally_equal(figure1)
+
+    @given(dag_sfas())
+    @settings(max_examples=30, deadline=None)
+    def test_random_round_trip(self, sfa):
+        back = from_att(to_att(sfa, log_weights=False), log_weights=False)
+        assert back.structurally_equal(sfa)
+
+    def test_space_escaping(self, figure1):
+        # Figure 1 contains the ' ' emission on edge (2, 3).
+        text = to_att(figure1)
+        assert "<space>" in text
+        back = from_att(text)
+        assert any(
+            e.string == " " for e in back.emissions(2, 3)
+        )
+
+
+class TestFormatDetails:
+    def test_final_state_line(self, figure1):
+        text = to_att(figure1)
+        assert text.rstrip().splitlines()[-1] == str(figure1.final)
+
+    def test_comments_and_blanks_ignored(self, figure1):
+        text = "# comment\n\n" + to_att(figure1)
+        from_att(text)  # must not raise
+
+    def test_space_separated_fields_accepted(self):
+        text = "0 1 a a 0.5\n1\n"
+        sfa = from_att(text, log_weights=False)
+        assert sfa.emissions(0, 1)[0].prob == pytest.approx(0.5)
+
+    def test_default_weight(self):
+        sfa = from_att("0 1 a a\n1\n", log_weights=True)
+        assert sfa.emissions(0, 1)[0].prob == pytest.approx(1.0)
+
+    def test_start_override(self):
+        sfa = from_att("5 1 a a 1.0\n1\n", log_weights=False, start=5)
+        assert sfa.start == 5
+
+
+class TestErrors:
+    def test_epsilon_rejected(self):
+        with pytest.raises(SfaError):
+            from_att("0 1 <epsilon> <epsilon> 0.5\n1\n", log_weights=False)
+
+    def test_true_transducer_rejected(self):
+        with pytest.raises(SfaError):
+            from_att("0 1 a b 0.5\n1\n", log_weights=False)
+
+    def test_no_arcs(self):
+        with pytest.raises(SfaError):
+            from_att("1\n")
+
+    def test_two_final_states(self):
+        with pytest.raises(SfaError):
+            from_att("0 1 a a 0.5\n1\n2\n", log_weights=False)
+
+    def test_malformed_line(self):
+        with pytest.raises(SfaError):
+            from_att("0 1 a\n1\n")

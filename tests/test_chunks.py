@@ -1,0 +1,133 @@
+"""Tests for FindMinSFA and Collapse (repro.core.chunks)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import collapse, find_min_sfa, region_mass, region_top_k
+from repro.sfa import ops
+from repro.sfa.model import SfaError
+
+from .strategies import dag_sfas
+
+
+class TestFindMinSfaOnFigure3:
+    """The three repair cases of paper Figure 12 on the Figure 3 SFA."""
+
+    def test_good_merge_succeeds_directly(self, figure3):
+        # Successive edges (1,2),(2,3): already a valid single-entry/exit
+        # region {1, 2, 3}.
+        region = find_min_sfa(figure3, {1, 2, 3})
+        assert region.entry == 1
+        assert region.exit == 3
+        assert region.nodes == frozenset({1, 2, 3})
+
+    def test_no_unique_end_node(self, figure3):
+        # Sibling edges {1, 2, 4}: no unique end; the greatest common
+        # descendant is node 5 (paper Figure 3(D)).
+        region = find_min_sfa(figure3, {1, 2, 4})
+        assert region.entry == 1
+        assert region.exit == 5
+        assert region.nodes == frozenset({1, 2, 3, 4, 5})
+
+    def test_no_unique_start_node(self, figure3):
+        # {3, 4, 5}: no unique start; least common ancestor is node 1
+        # (paper Figure 12(A)).
+        region = find_min_sfa(figure3, {3, 4, 5})
+        assert region.entry == 1
+        assert region.exit == 5
+
+    def test_external_edge_closure(self, figure3):
+        # {0, 1, 2} has the external edge 1->4 incident on internal node 1,
+        # so the region must grow (paper Figure 12(C)).
+        region = find_min_sfa(figure3, {0, 1, 2})
+        assert region.entry == 0
+        assert region.exit == 5
+        assert region.nodes == frozenset({0, 1, 2, 3, 4, 5})
+
+
+class TestFindMinSfaErrors:
+    def test_needs_two_nodes(self, figure3):
+        with pytest.raises(SfaError):
+            find_min_sfa(figure3, {1})
+
+    def test_region_internal_property(self, figure1):
+        region = find_min_sfa(figure1, {2, 3, 4})
+        assert region.internal == region.nodes - {region.entry, region.exit}
+
+
+class TestCollapse:
+    def test_preserves_string_set_when_k_large(self, figure3):
+        region = find_min_sfa(figure3, {1, 2, 4})
+        collapsed = collapse(figure3, region, k=10)
+        ops.validate(collapsed)
+        assert set(ops.string_distribution(collapsed)) == {"aef", "abcd"}
+
+    def test_collapse_probabilities_exact(self, figure3):
+        region = find_min_sfa(figure3, {1, 2, 4})
+        collapsed = collapse(figure3, region, k=10)
+        dist = ops.string_distribution(collapsed)
+        original = ops.string_distribution(figure3)
+        for string, prob in dist.items():
+            assert prob == pytest.approx(original[string])
+
+    def test_collapse_prunes_to_top_k(self, figure3):
+        region = find_min_sfa(figure3, {1, 2, 4})
+        collapsed = collapse(figure3, region, k=1)
+        dist = ops.string_distribution(collapsed)
+        assert set(dist) == {"aef"}  # the higher-probability branch
+
+    def test_original_untouched(self, figure3):
+        before = figure3.copy()
+        region = find_min_sfa(figure3, {1, 2, 4})
+        collapse(figure3, region, k=1)
+        assert figure3.structurally_equal(before)
+
+    def test_direct_edge_absorbed(self):
+        from repro.sfa.model import Sfa
+
+        sfa = Sfa(0, 2)
+        sfa.add_edge(0, 1, [("a", 0.5)])
+        sfa.add_edge(1, 2, [("b", 1.0)])
+        sfa.add_edge(0, 2, [("c", 0.5)])  # direct edge inside the region
+        region = find_min_sfa(sfa, {0, 1, 2})
+        collapsed = collapse(sfa, region, k=2)
+        assert collapsed.num_edges == 1
+        dist = ops.string_distribution(collapsed)
+        assert dist == pytest.approx({"ab": 0.5, "c": 0.5})
+
+
+class TestRegionMassAndTopK:
+    def test_region_mass_full_sfa(self, figure3):
+        region = find_min_sfa(figure3, {0, 1, 2})
+        assert region_mass(figure3, region) == pytest.approx(1.0)
+
+    def test_region_top_k_ranked(self, figure3):
+        region = find_min_sfa(figure3, {1, 2, 4})
+        top = region_top_k(figure3, region, 2)
+        assert [s for s, _ in top] == ["ef", "bcd"]
+        assert top[0][1] == pytest.approx(0.6)
+        assert top[1][1] == pytest.approx(0.4)
+
+
+class TestCollapseProperties:
+    @given(dag_sfas(min_length=3, max_length=9), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_collapse_emits_subset_of_original(self, sfa, k):
+        """Core soundness: collapse never introduces new strings."""
+        middle = next(
+            (n for n in ops.topological_order(sfa)[1:-1] if n not in
+             (sfa.start, sfa.final)),
+            None,
+        )
+        if middle is None:
+            return
+        pred = sfa.predecessors(middle)[0]
+        succ = sfa.successors(middle)[0]
+        region = find_min_sfa(sfa, {pred, middle, succ})
+        collapsed = collapse(sfa, region, k)
+        ops.validate(collapsed)
+        original = ops.string_distribution(sfa)
+        for string, prob in ops.string_distribution(collapsed).items():
+            assert string in original
+            assert prob == pytest.approx(original[string])

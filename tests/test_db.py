@@ -1,0 +1,214 @@
+"""Tests for the RDBMS layer (repro.db): schema, storage, engine."""
+
+import math
+import sqlite3
+
+import pytest
+
+from repro.db import storage
+from repro.db.engine import StaccatoDB
+from repro.db.schema import TABLES, create_schema
+from repro.ocr.corpus import make_ca
+from repro.ocr.engine import SimulatedOcrEngine
+from repro.ocr.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def loaded_db():
+    """A small CA corpus ingested once for the whole module."""
+    db = StaccatoDB(k=8, m=10)
+    dataset = make_ca(num_docs=2, lines_per_doc=6)
+    engine = SimulatedOcrEngine(NoiseModel(tail_mass=0.0), seed=13)
+    db.ingest(dataset, engine)
+    yield db
+    db.close()
+
+
+class TestSchema:
+    def test_tables_created(self):
+        conn = sqlite3.connect(":memory:")
+        create_schema(conn)
+        names = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert set(TABLES) <= names
+
+    def test_idempotent(self):
+        conn = sqlite3.connect(":memory:")
+        create_schema(conn)
+        create_schema(conn)  # must not raise
+
+
+class TestIngest(object):
+    def test_counts(self, loaded_db):
+        assert loaded_db.num_lines == 12
+        keys = storage.all_data_keys(loaded_db.conn)
+        assert keys == list(range(12))
+
+    def test_unknown_approach_rejected(self):
+        db = StaccatoDB()
+        with pytest.raises(ValueError):
+            db.ingest(make_ca(num_docs=1, lines_per_doc=1), approaches=("bogus",))
+        db.close()
+
+    def test_storage_bytes_positive(self, loaded_db):
+        for approach in ("kmap", "fullsfa", "staccato"):
+            assert loaded_db.storage_bytes(approach) > 0
+
+    def test_storage_bytes_unknown(self, loaded_db):
+        with pytest.raises(ValueError):
+            storage.approach_storage_bytes(loaded_db.conn, "bogus")
+
+
+class TestLoaders:
+    def test_fullsfa_roundtrip(self, loaded_db):
+        sfa = storage.load_fullsfa(loaded_db.conn, 0)
+        assert sfa.num_edges > 0
+
+    def test_kmap_probabilities_descend(self, loaded_db):
+        strings = storage.load_kmap(loaded_db.conn, 0)
+        probs = [p for _, p in strings]
+        assert probs == sorted(probs, reverse=True)
+        assert len(strings) <= 8
+
+    def test_kmap_truncation(self, loaded_db):
+        assert len(storage.load_kmap(loaded_db.conn, 0, k=1)) == 1
+
+    def test_staccato_graph(self, loaded_db):
+        graph = storage.load_staccato(loaded_db.conn, 0)
+        assert graph.num_edges <= 10
+        assert graph.max_strings_per_edge() <= 8
+
+    def test_staccato_rows_match_graph(self, loaded_db):
+        graph = storage.load_staccato(loaded_db.conn, 0)
+        rows = loaded_db.conn.execute(
+            "SELECT ChunkNum, Rank, Data, LogProb FROM StaccatoData "
+            "WHERE DataKey = 0 ORDER BY ChunkNum, Rank"
+        ).fetchall()
+        assert len(rows) == graph.num_emissions()
+        by_chunk = {}
+        for chunk, rank, data, log_prob in rows:
+            by_chunk.setdefault(chunk, []).append((data, math.exp(log_prob)))
+        for chunk_num, (u, v) in enumerate(sorted(graph.edges)):
+            stored = by_chunk[chunk_num]
+            graph_strings = [(e.string, e.prob) for e in graph.emissions(u, v)]
+            assert [s for s, _ in stored] == [s for s, _ in graph_strings]
+
+    def test_ground_truth(self, loaded_db):
+        text = storage.load_ground_truth(loaded_db.conn, 3)
+        assert isinstance(text, str) and text
+
+    def test_missing_keys_raise(self, loaded_db):
+        for loader in (
+            storage.load_fullsfa,
+            storage.load_staccato,
+            storage.load_kmap,
+            storage.load_ground_truth,
+        ):
+            with pytest.raises(KeyError):
+                loader(loaded_db.conn, 999)
+        with pytest.raises(KeyError):
+            storage.line_metadata(loaded_db.conn, 999)
+
+
+class TestSearch:
+    def test_all_approaches_return_answers(self, loaded_db):
+        for approach in ("map", "kmap", "fullsfa", "staccato"):
+            answers = loaded_db.search("%the%", approach=approach)
+            assert answers, approach
+            probs = [a.probability for a in answers]
+            assert probs == sorted(probs, reverse=True)
+
+    def test_answer_metadata(self, loaded_db):
+        answers = loaded_db.search("%the%", approach="map")
+        for answer in answers:
+            doc_id, line_no = storage.line_metadata(loaded_db.conn, answer.line_id)
+            assert (answer.doc_id, answer.line_no) == (doc_id, line_no)
+
+    def test_num_ans_cutoff(self, loaded_db):
+        answers = loaded_db.search("%the%", approach="map", num_ans=2)
+        assert len(answers) <= 2
+
+    def test_data_keys_restriction(self, loaded_db):
+        answers = loaded_db.search(
+            "%the%", approach="map", data_keys=[0, 1, 2]
+        )
+        assert {a.line_id for a in answers} <= {0, 1, 2}
+
+    def test_unknown_approach(self, loaded_db):
+        with pytest.raises(ValueError):
+            loaded_db.search("%a%", approach="bogus")
+
+    def test_recall_ordering_regex(self, loaded_db):
+        """MAP <= kMAP <= FullSFA recall on a digit-heavy regex."""
+        pattern = r"REGEX:1\d\d\d"
+        truth = loaded_db.ground_truth_matches(pattern)
+        if not truth:
+            pytest.skip("corpus sample has no matches")
+
+        def recall(approach):
+            hits = {a.line_id for a in loaded_db.search(pattern, approach=approach)}
+            return len(hits & truth) / len(truth)
+
+        assert recall("map") <= recall("kmap") + 1e-9
+        assert recall("kmap") <= recall("fullsfa") + 1e-9
+
+
+class TestInvertedIndexPlan:
+    def test_build_and_probe(self, loaded_db):
+        count = loaded_db.build_index(
+            ["public", "law", "president", "congress", "united"]
+        )
+        assert count > 0
+        postings = loaded_db.index_postings("public")
+        assert postings
+        assert 0.0 < loaded_db.index_selectivity("public") <= 1.0
+
+    def test_indexed_search_matches_filescan_lines(self, loaded_db):
+        loaded_db.build_index(["public", "law", "president", "congress"])
+        pattern = r"REGEX:Public Law (8|9)\d"
+        scan = loaded_db.search(pattern, approach="staccato")
+        indexed = loaded_db.indexed_search(pattern, use_projection=False)
+        assert {a.line_id for a in indexed} == {a.line_id for a in scan}
+        by_line = {a.line_id: a.probability for a in scan}
+        for answer in indexed:
+            assert answer.probability == pytest.approx(by_line[answer.line_id])
+
+    def test_indexed_search_with_projection_same_lines(self, loaded_db):
+        loaded_db.build_index(["public", "law"])
+        pattern = r"REGEX:Public Law (8|9)\d"
+        scan_lines = {a.line_id for a in loaded_db.search(pattern, "staccato")}
+        proj_lines = {
+            a.line_id
+            for a in loaded_db.indexed_search(pattern, use_projection=True)
+        }
+        assert proj_lines == scan_lines
+
+    def test_unanchored_falls_back_to_scan(self, loaded_db):
+        loaded_db.build_index(["public"])
+        pattern = r"REGEX:(8|9)\d"
+        indexed = loaded_db.indexed_search(pattern)
+        scan = loaded_db.search(pattern, approach="staccato")
+        assert {a.line_id for a in indexed} == {a.line_id for a in scan}
+
+    def test_index_approach_validation(self, loaded_db):
+        with pytest.raises(ValueError):
+            loaded_db.build_index(["law"], approach="fullsfa")
+
+    def test_kmap_index(self, loaded_db):
+        loaded_db.build_index(["public", "law"], approach="kmap")
+        pattern = r"REGEX:Public Law (8|9)\d"
+        indexed = loaded_db.indexed_search(pattern, approach="kmap")
+        scan = loaded_db.search(pattern, approach="kmap")
+        assert {a.line_id for a in indexed} == {a.line_id for a in scan}
+        # Restore the staccato index for other tests in this module.
+        loaded_db.build_index(["public", "law", "president", "congress"])
+
+
+class TestContextManager:
+    def test_with_statement(self):
+        with StaccatoDB() as db:
+            assert db.num_lines == 0

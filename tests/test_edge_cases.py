@@ -1,0 +1,75 @@
+"""Edge-case coverage for small public surfaces across the package."""
+
+import pytest
+
+from repro.bench.report import print_series, print_table
+from repro.db.engine import StaccatoDB
+from repro.ocr.speech import HOMOPHONES
+from repro.query.answers import rank_answers
+from repro.sfa.model import Sfa
+from repro.sfa.ops import total_mass
+from repro.sfa.paths import k_best_strings
+
+
+class TestReportPrinting:
+    def test_print_table(self, capsys):
+        print_table("t", ["a"], [[1]])
+        out = capsys.readouterr().out
+        assert "== t ==" in out
+        assert "1" in out
+
+    def test_print_series(self, capsys):
+        print_series("s", {"line": ([1], [2])})
+        out = capsys.readouterr().out
+        assert "line: 1->2" in out
+
+
+class TestEmptyDb:
+    def test_search_on_empty_db(self):
+        with StaccatoDB() as db:
+            assert db.search("%a%", approach="map") == []
+            assert db.ground_truth_matches("%a%") == set()
+            assert db.index_selectivity("term") == 0.0
+            assert db.index_postings("term") == {}
+
+    def test_storage_bytes_on_empty_db(self):
+        with StaccatoDB() as db:
+            for approach in ("kmap", "fullsfa", "staccato"):
+                assert db.storage_bytes(approach) == 0
+
+
+class TestDegenerateSfas:
+    def test_single_edge_sfa(self):
+        sfa = Sfa(0, 1)
+        sfa.add_edge(0, 1, [("hello", 1.0)])
+        assert total_mass(sfa) == 1.0
+        assert k_best_strings(sfa, 3) == [("hello", 1.0)]
+
+    def test_zero_probability_emission_drops_mass(self):
+        sfa = Sfa(0, 1)
+        sfa.add_edge(0, 1, [("a", 0.0), ("b", 0.5)])
+        assert total_mass(sfa) == pytest.approx(0.5)
+        # Zero-probability strings still enumerate but carry no mass.
+        top = k_best_strings(sfa, 5)
+        assert top[0] == ("b", 0.5)
+
+
+class TestRankAnswersEdges:
+    def test_empty_input(self):
+        assert rank_answers([], num_ans=10) == []
+
+    def test_zero_num_ans(self):
+        from repro.query.answers import Answer
+
+        assert rank_answers([Answer(1, 0, 0, 0.5)], num_ans=0) == []
+
+
+class TestHomophoneTable:
+    def test_no_self_mappings(self):
+        for word, alternatives in HOMOPHONES.items():
+            assert word not in alternatives
+
+    def test_all_lowercase(self):
+        for word, alternatives in HOMOPHONES.items():
+            assert word == word.lower()
+            assert all(a == a.lower() for a in alternatives)

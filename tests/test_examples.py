@@ -1,0 +1,57 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+The heavy, corpus-scale examples (insurance_claims, digital_humanities,
+congress_acts_indexed) are exercised by the benchmark suite's identical
+code paths; here we run the two cheap ones end to end and check their
+headline assertions hold.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.path.remove(str(EXAMPLES))
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_ford_story(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "MAP string: 'F0 rd'" in out
+        assert "0.1152" in out
+        assert "LOST" in out
+
+
+class TestSpeech:
+    def test_lattice_story(self, capsys):
+        out = _run("speech_lattices.py", capsys)
+        assert "word lattices" in out
+        assert "candidate transcripts" in out
+        assert "ford" in out
+
+
+class TestExampleFilesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "insurance_claims.py",
+            "digital_humanities.py",
+            "congress_acts_indexed.py",
+            "speech_lattices.py",
+        ],
+    )
+    def test_present_and_has_main(self, name):
+        text = (EXAMPLES / name).read_text()
+        assert "def main()" in text
+        assert '__main__' in text

@@ -1,0 +1,45 @@
+"""Parallel-construction paths must be bit-identical to serial ones."""
+
+import pytest
+
+from repro.bench.harness import MAX_CHUNKS, CorpusBench
+from repro.ocr.corpus import make_ca
+from repro.ocr.engine import SimulatedOcrEngine
+from repro.ocr.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_ca(num_docs=2, lines_per_doc=4)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SimulatedOcrEngine(NoiseModel(tail_mass=0.0), seed=71)
+
+
+class TestParallelHarness:
+    def test_staccato_parallel_equals_serial(self, corpus, engine):
+        serial = CorpusBench(corpus, engine, workers=None)
+        parallel = CorpusBench(corpus, engine, workers=2)
+        for a, b in zip(serial.staccato(5, 4), parallel.staccato(5, 4)):
+            assert a.structurally_equal(b)
+
+    def test_max_chunks_parallel(self, corpus, engine):
+        serial = CorpusBench(corpus, engine, workers=None)
+        parallel = CorpusBench(corpus, engine, workers=2)
+        for a, b in zip(
+            serial.staccato(MAX_CHUNKS, 3), parallel.staccato(MAX_CHUNKS, 3)
+        ):
+            assert a.structurally_equal(b)
+
+    def test_search_results_identical(self, corpus, engine):
+        serial = CorpusBench(corpus, engine, workers=None)
+        parallel = CorpusBench(corpus, engine, workers=2)
+        for bench in (serial, parallel):
+            bench.staccato(5, 4)
+        a, _ = serial.search("%the%", "staccato", m=5, k=4)
+        b, _ = parallel.search("%the%", "staccato", m=5, k=4)
+        assert [(x.line_id, x.probability) for x in a] == [
+            (y.line_id, y.probability) for y in b
+        ]

@@ -1,0 +1,155 @@
+"""Tests for NFA compilation and DFA determinization (repro.automata)."""
+
+import re as python_re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DEAD, Dfa, dfa_for_pattern, minimize
+from repro.automata.nfa import compile_pattern
+
+from .strategies import regex_patterns
+
+
+def _to_python_re(pattern: str) -> str:
+    """Translate the paper's pattern language to Python re syntax."""
+    out = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "\\" and i + 1 < len(pattern):
+            nxt = pattern[i + 1]
+            if nxt == "d":
+                out.append("[0-9]")
+            elif nxt == "x":
+                out.append(".")
+            else:
+                out.append(python_re.escape(nxt))
+            i += 2
+            continue
+        if ch in "(|)*":
+            out.append(ch)
+        else:
+            out.append(python_re.escape(ch))
+        i += 1
+    return "".join(out)
+
+
+class TestMatchAnywhere:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("Ford", "the Ford claim", True),
+            ("Ford", "the F0rd claim", False),
+            (r"U.S.C. 2\d\d\d", "see U.S.C. 2301.", True),
+            (r"U.S.C. 2\d\d\d", "see U.S.C. 23x1.", False),
+            (r"Public Law (8|9)\d", "Public Law 85", True),
+            (r"Public Law (8|9)\d", "Public Law 75", False),
+            (r"Sec(\x)*7", "Sec. foo 7", True),
+            (r"19\d\d, \d\d", "in 1944, 12 men", True),
+            (r"(no|num).(2|8)", "num.8", True),
+            (r"(no|num).(2|8)", "no,2", True),  # '.' is literal-any? no: literal
+        ],
+    )
+    def test_cases(self, pattern, text, expected):
+        # '.' is a literal in the paper's language, so fix the last case:
+        if pattern == r"(no|num).(2|8)" and text == "no,2":
+            assert not dfa_for_pattern(pattern).accepts(text)
+            return
+        assert dfa_for_pattern(pattern).accepts(text) == expected
+
+    def test_empty_pattern_matches_everything(self):
+        dfa = dfa_for_pattern("")
+        assert dfa.accepts("")
+        assert dfa.accepts("anything")
+
+    def test_accept_is_absorbing(self):
+        dfa = dfa_for_pattern("ab")
+        state = dfa.step_string(dfa.start, "xxabyy")
+        assert dfa.is_accepting(state)
+        assert dfa.step(state, "z") == state
+
+    def test_no_dead_states_in_anywhere_mode(self):
+        dfa = dfa_for_pattern("abc")
+        state = dfa.start
+        for ch in "zzzzz":
+            state = dfa.step(state, ch)
+            assert state != DEAD
+
+
+class TestExactMatch:
+    def test_whole_string_only(self):
+        dfa = dfa_for_pattern("abc", match_anywhere=False)
+        assert dfa.accepts("abc")
+        assert not dfa.accepts("xabc")
+        assert not dfa.accepts("abcx")
+        assert not dfa.accepts("ab")
+
+    def test_star(self):
+        dfa = dfa_for_pattern("a(b)*", match_anywhere=False)
+        assert dfa.accepts("a")
+        assert dfa.accepts("abbbb")
+        assert not dfa.accepts("ba")
+
+    def test_dead_state_reached(self):
+        dfa = dfa_for_pattern("a", match_anywhere=False)
+        assert dfa.step(dfa.start, "z") == DEAD
+        assert dfa.step(DEAD, "a") == DEAD
+        assert not dfa.is_accepting(DEAD)
+
+
+class TestAgainstPythonRe:
+    @given(regex_patterns(), st.text(alphabet="abc019 x", max_size=12))
+    @settings(max_examples=300, deadline=None)
+    def test_match_anywhere_equivalence(self, pattern, text):
+        ours = dfa_for_pattern(pattern).accepts(text)
+        theirs = python_re.search(_to_python_re(pattern), text) is not None
+        assert ours == theirs
+
+    @given(regex_patterns(), st.text(alphabet="abc019 x", max_size=12))
+    @settings(max_examples=300, deadline=None)
+    def test_exact_equivalence(self, pattern, text):
+        ours = dfa_for_pattern(pattern, match_anywhere=False).accepts(text)
+        theirs = python_re.fullmatch(_to_python_re(pattern), text) is not None
+        assert ours == theirs
+
+
+class TestMaterializeAndMinimize:
+    def test_materialized_agrees_with_lazy(self):
+        # Equivalence holds over the materialized alphabet only.
+        lazy = dfa_for_pattern(r"a(b|c)\d")
+        table = lazy.materialize("abc019 ")
+        for text in [" ab1 ", "ac9", "ab", "a b 1", "abc019", "cab0c"]:
+            assert table.accepts(text) == lazy.accepts(text)
+
+    def test_minimize_preserves_language(self):
+        lazy = dfa_for_pattern(r"(a|b)(a|b)c")
+        table = lazy.materialize("abc ")
+        small = minimize(table)
+        assert small.num_states <= table.num_states
+        for text in ["aac", "abc", "bbc", "ab", "c", "xxaacxx"[:5]]:
+            assert small.accepts(text) == table.accepts(text)
+
+    def test_minimize_reduces_redundant_states(self):
+        # (a|b) twice creates sibling subsets that minimize can merge.
+        table = dfa_for_pattern("(aa|ab)", match_anywhere=False).materialize("ab")
+        small = minimize(table)
+        assert small.num_states < table.num_states
+
+    def test_unknown_character_is_dead(self):
+        table = dfa_for_pattern("a", match_anywhere=False).materialize("a")
+        assert table.step(table.start, "z") == table.dead
+
+
+class TestLazyStateCount:
+    def test_keyword_state_count_is_linear(self):
+        dfa = dfa_for_pattern("President")
+        dfa.accepts("the President said President things")
+        # states: one per proper prefix (+ restart overlaps) + accept
+        assert dfa.num_states <= len("President") + 2
+
+    def test_nfa_state_count(self):
+        nfa = compile_pattern(r"a(b|c)*d")
+        assert nfa.num_states > 0
+        assert nfa.start != nfa.accept

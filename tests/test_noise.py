@@ -1,0 +1,122 @@
+"""Tests for the OCR noise model (repro.ocr.noise)."""
+
+import random
+
+import pytest
+
+from repro.ocr.noise import CONFUSABLE, MERGES, SPLITS, NoiseModel
+
+
+class TestParameters:
+    def test_severity_bounds(self):
+        with pytest.raises(ValueError):
+            NoiseModel(severity=1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(severity=-0.1)
+
+    def test_max_alternatives_bound(self):
+        with pytest.raises(ValueError):
+            NoiseModel(max_alternatives=0)
+
+    def test_tail_mass_bounds(self):
+        with pytest.raises(ValueError):
+            NoiseModel(tail_mass=1.0)
+
+
+class TestAlternatives:
+    def test_normalized(self):
+        model = NoiseModel()
+        rng = random.Random(0)
+        for char in "aeoP1. ":
+            alts = model.alternatives(char, rng)
+            assert sum(p for _, p in alts) == pytest.approx(1.0)
+
+    def test_distinct_characters(self):
+        model = NoiseModel()
+        rng = random.Random(1)
+        for char in "abcdefgh":
+            alts = model.alternatives(char, rng)
+            chars = [c for c, _ in alts]
+            assert len(chars) == len(set(chars))
+
+    def test_true_char_always_present(self):
+        model = NoiseModel()
+        rng = random.Random(2)
+        for char in "president":
+            alts = model.alternatives(char, rng)
+            assert char in {c for c, _ in alts}
+
+    def test_forbidden_respected(self):
+        model = NoiseModel()
+        rng = random.Random(3)
+        forbidden = {"0", "c", "e", "m"}
+        for _ in range(50):
+            alts = model.alternatives("o", rng, forbidden=forbidden)
+            assert not ({c for c, _ in alts} & forbidden)
+
+    def test_no_noise_without_severity(self):
+        model = NoiseModel(severity=0.0, tail_mass=0.0)
+        rng = random.Random(4)
+        assert model.alternatives("a", rng) == [("a", 1.0)]
+
+    def test_hard_errors_demote_true_char(self):
+        model = NoiseModel(hard_error_rate=1.0, tail_mass=0.0)
+        rng = random.Random(5)
+        alts = dict(model.alternatives("o", rng))
+        best = max(alts, key=alts.get)
+        assert best != "o"
+        assert "o" in alts  # demoted, not dropped
+
+    def test_no_hard_errors_keep_true_char_on_top(self):
+        model = NoiseModel(hard_error_rate=0.0, hard_error_rate_hard_glyphs=0.0)
+        rng = random.Random(6)
+        for char in "president":
+            alts = dict(model.alternatives(char, rng))
+            assert max(alts, key=alts.get) == char
+
+    def test_digits_use_hard_glyph_rate(self):
+        model = NoiseModel(hard_error_rate=0.0, hard_error_rate_hard_glyphs=1.0,
+                           tail_mass=0.0)
+        rng = random.Random(7)
+        alts = dict(model.alternatives("5", rng))
+        assert max(alts, key=alts.get) != "5"
+
+
+class TestTailSmoothing:
+    def test_tail_adds_support(self):
+        with_tail = NoiseModel(tail_mass=0.05)
+        rng = random.Random(8)
+        alts = with_tail.alternatives("q", rng)
+        assert len(alts) > 10  # tail alphabet present
+
+    def test_tail_mass_total(self):
+        model = NoiseModel(tail_mass=0.05)
+        rng = random.Random(9)
+        alts = model.alternatives("q", rng)
+        assert sum(p for _, p in alts) == pytest.approx(1.0)
+
+    def test_tail_disabled(self):
+        model = NoiseModel(tail_mass=0.0)
+        rng = random.Random(10)
+        alts = model.alternatives("q", rng)
+        assert len(alts) <= model.max_alternatives
+
+
+class TestConfusionTables:
+    def test_merge_lookup(self):
+        model = NoiseModel()
+        assert model.merge_for("rn") == "m"
+        assert model.merge_for("zz") is None
+
+    def test_split_lookup(self):
+        model = NoiseModel()
+        assert model.split_for("m") == "rn"
+        assert model.split_for("z") is None
+
+    def test_merges_and_splits_are_inverse_where_defined(self):
+        for merged, split in SPLITS.items():
+            assert MERGES.get(split) == merged
+
+    def test_confusables_never_map_to_self(self):
+        for char, alts in CONFUSABLE.items():
+            assert char not in alts

@@ -1,0 +1,76 @@
+"""Tests for cost-based plan selection (repro.db.planner)."""
+
+import pytest
+
+from repro.db.engine import StaccatoDB
+from repro.db.planner import QueryPlan, choose_plan, execute_plan
+from repro.ocr.corpus import make_ca
+from repro.ocr.engine import SimulatedOcrEngine
+from repro.ocr.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def planned_db():
+    db = StaccatoDB(k=6, m=8)
+    db.ingest(
+        make_ca(num_docs=3, lines_per_doc=6),
+        SimulatedOcrEngine(NoiseModel(tail_mass=0.0), seed=61),
+    )
+    db.build_index(["public", "law", "the", "president", "congress"])
+    yield db
+    db.close()
+
+
+class TestChoosePlan:
+    def test_no_index_scans(self):
+        db = StaccatoDB()
+        plan = choose_plan(db, "%anything%")
+        assert plan.kind == "scan"
+        assert "no index" in plan.reason
+        db.close()
+
+    def test_unanchored_scans(self, planned_db):
+        plan = choose_plan(planned_db, r"REGEX:(8|9)\d")
+        assert plan.kind == "scan"
+        assert plan.anchor is None
+
+    def test_selective_anchor_probes(self, planned_db):
+        plan = choose_plan(planned_db, r"REGEX:Public Law (8|9)\d")
+        assert plan.kind == "index"
+        assert plan.anchor == "public"
+        assert plan.selectivity is not None
+        assert plan.selectivity <= 1.0
+
+    def test_saturated_anchor_scans(self, planned_db):
+        # 'the' appears in essentially every line of the corpus.
+        selectivity = planned_db.index_selectivity("the")
+        plan = choose_plan(
+            planned_db, "%the President%", threshold=selectivity - 0.01
+        )
+        assert plan.kind == "scan"
+        assert plan.anchor == "the"
+
+    def test_threshold_boundary(self, planned_db):
+        selectivity = planned_db.index_selectivity("public")
+        probe = choose_plan(
+            planned_db, r"REGEX:Public Law (8|9)\d", threshold=selectivity + 0.01
+        )
+        scan = choose_plan(
+            planned_db, r"REGEX:Public Law (8|9)\d", threshold=selectivity - 0.01
+        )
+        assert probe.kind == "index"
+        assert scan.kind == "scan"
+
+
+class TestExecutePlan:
+    def test_plans_agree_on_answers(self, planned_db):
+        like = r"REGEX:Public Law (8|9)\d"
+        plan, answers = execute_plan(planned_db, like)
+        scan_answers = planned_db.search(like, approach="staccato")
+        assert isinstance(plan, QueryPlan)
+        assert {a.line_id for a in answers} == {a.line_id for a in scan_answers}
+
+    def test_scan_plan_executes(self, planned_db):
+        plan, answers = execute_plan(planned_db, r"REGEX:(8|9)\d")
+        assert plan.kind == "scan"
+        assert isinstance(answers, list)

@@ -1,0 +1,171 @@
+"""Unit + property tests for SFA graph/probability operations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sfa import ops
+from repro.sfa.model import Sfa, SfaError
+from repro.sfa.builder import chain_sfa, from_string
+
+from .strategies import dag_sfas
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        sfa = from_string("abc")
+        assert ops.topological_order(sfa) == [0, 1, 2, 3]
+
+    def test_respects_edges(self, figure1):
+        order = ops.topological_order(figure1)
+        position = {node: i for i, node in enumerate(order)}
+        for u, v in figure1.edges:
+            assert position[u] < position[v]
+
+    def test_cycle_detected(self):
+        sfa = Sfa(0, 3)
+        sfa.add_edge(0, 1, [("a", 1.0)])
+        sfa.add_edge(1, 2, [("b", 1.0)])
+        sfa.add_edge(2, 1, [("c", 1.0)])
+        sfa.add_edge(2, 3, [("d", 1.0)])
+        with pytest.raises(SfaError):
+            ops.topological_order(sfa)
+
+
+class TestValidate:
+    def test_figure1_is_valid_stochastic(self, figure1):
+        ops.validate(figure1, require_stochastic=True)
+
+    def test_extra_source_rejected(self, figure1):
+        bad = figure1.copy()
+        bad.add_edge(9, 5, [("x", 1.0)])  # node 9 becomes a second source
+        with pytest.raises(SfaError):
+            ops.validate(bad)
+
+    def test_extra_sink_rejected(self, figure1):
+        bad = figure1.copy()
+        bad.add_edge(0, 9, [("x", 0.1)])  # node 9 becomes a second sink
+        with pytest.raises(SfaError):
+            ops.validate(bad)
+
+    def test_nonstochastic_detected(self, figure1):
+        pruned = figure1.copy()
+        pruned.replace_emissions(0, 1, [("F", 0.8)])  # dropped T: 0.2
+        ops.validate(pruned)  # structurally fine
+        with pytest.raises(SfaError):
+            ops.validate(pruned, require_stochastic=True)
+
+    def test_is_valid_boolean(self, figure1):
+        assert ops.is_valid(figure1)
+        bad = figure1.copy()
+        bad.replace_emissions(0, 1, [("F", 0.5)])
+        assert not ops.is_valid(bad, require_stochastic=True)
+
+
+class TestReachability:
+    def test_ancestors_descendants(self, figure1):
+        assert ops.descendants(figure1, 2) == {3, 4, 5}
+        assert ops.ancestors(figure1, 3) == {0, 1, 2}
+        assert ops.ancestors(figure1, 0) == set()
+        assert ops.descendants(figure1, 5) == set()
+
+
+class TestMasses:
+    def test_forward_mass_start_is_one(self, figure1):
+        forward = ops.forward_mass(figure1)
+        assert forward[figure1.start] == 1.0
+        assert forward[figure1.final] == pytest.approx(1.0)
+
+    def test_backward_mirrors_forward(self, figure1):
+        backward = ops.backward_mass(figure1)
+        assert backward[figure1.final] == 1.0
+        assert backward[figure1.start] == pytest.approx(1.0)
+
+    def test_total_mass_after_pruning(self, figure1):
+        pruned = figure1.copy()
+        pruned.replace_emissions(0, 1, [("F", 0.8)])
+        assert ops.total_mass(pruned) == pytest.approx(0.8)
+
+    @given(dag_sfas())
+    @settings(max_examples=40, deadline=None)
+    def test_total_mass_is_one_for_stochastic(self, sfa):
+        assert ops.total_mass(sfa) == pytest.approx(1.0)
+
+    @given(dag_sfas())
+    @settings(max_examples=40, deadline=None)
+    def test_forward_times_backward_consistent(self, sfa):
+        forward = ops.forward_mass(sfa)
+        backward = ops.backward_mass(sfa)
+        # Sum of path mass through any graph *cut* equals the total mass;
+        # the single-node cuts {start} and {final} give the two ends.
+        assert forward[sfa.final] == pytest.approx(backward[sfa.start])
+
+
+class TestStringCount:
+    def test_figure1(self, figure1):
+        # 2 * 2 * (1*2 + 1) ... enumerate to be sure
+        assert ops.string_count(figure1) == len(list(ops.enumerate_strings(figure1)))
+
+    def test_chain_product(self):
+        sfa = chain_sfa(
+            [[("a", 0.5), ("b", 0.5)], [("c", 0.5), ("d", 0.5)], [("e", 1.0)]]
+        )
+        assert ops.string_count(sfa) == 4
+
+    @given(dag_sfas(max_length=7))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_enumeration(self, sfa):
+        assert ops.string_count(sfa) == len(list(ops.enumerate_strings(sfa)))
+
+
+class TestEnumeration:
+    def test_distribution_sums_to_total_mass(self, figure1):
+        dist = ops.string_distribution(figure1)
+        assert sum(dist.values()) == pytest.approx(ops.total_mass(figure1))
+
+    def test_limit(self, figure1):
+        assert len(list(ops.enumerate_strings(figure1, limit=3))) == 3
+
+    def test_distribution_refuses_blowup(self, figure1):
+        with pytest.raises(SfaError):
+            ops.string_distribution(figure1, limit=3)
+
+    def test_known_string_probability(self, figure1):
+        dist = ops.string_distribution(figure1)
+        assert dist["Ford"] == pytest.approx(0.8 * 0.4 * 0.4 * 0.9)
+        assert dist["F0 rd"] == pytest.approx(0.8 * 0.6 * 0.6 * 0.8 * 0.9)
+
+
+class TestUniquePaths:
+    def test_figure1_unique(self, figure1):
+        assert ops.has_unique_paths(figure1)
+
+    def test_violation_detected(self):
+        sfa = Sfa(0, 2)
+        sfa.add_edge(0, 1, [("a", 0.5)])
+        sfa.add_edge(1, 2, [("b", 1.0)])
+        sfa.add_edge(0, 2, [("ab", 0.5)])  # same string, second path
+        assert not ops.has_unique_paths(sfa)
+
+    @given(dag_sfas())
+    @settings(max_examples=30, deadline=None)
+    def test_generator_guarantees_unique_paths(self, sfa):
+        assert ops.has_unique_paths(sfa)
+
+
+class TestRetainedMassAndKl:
+    def test_identity_retains_everything(self, figure1):
+        assert ops.retained_mass(figure1, figure1) == pytest.approx(1.0)
+        assert ops.kl_divergence(figure1, figure1) == pytest.approx(0.0)
+
+    def test_pruned_mass(self, figure1):
+        pruned = figure1.copy()
+        pruned.replace_emissions(0, 1, [("F", 0.8)])
+        assert ops.retained_mass(figure1, pruned) == pytest.approx(0.8)
+        assert ops.kl_divergence(figure1, pruned) == pytest.approx(-math.log(0.8))
+
+    def test_empty_approximation_infinite_kl(self, figure1):
+        tiny = Sfa(0, 1)
+        tiny.add_edge(0, 1, [("zzz", 1.0)])
+        assert ops.kl_divergence(figure1, tiny) == math.inf

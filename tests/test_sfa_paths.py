@@ -1,0 +1,82 @@
+"""Tests for MAP / k-best string extraction (repro.sfa.paths)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfa import ops
+from repro.sfa.builder import chain_sfa, figure2_sfa
+from repro.sfa.paths import k_best_between, k_best_strings, map_string
+
+from .strategies import dag_sfas
+
+
+class TestMapString:
+    def test_figure1_map_is_f0rd(self, figure1):
+        string, prob = map_string(figure1)
+        assert string == "F0 rd"
+        assert prob == pytest.approx(0.8 * 0.6 * 0.6 * 0.8 * 0.9)
+
+    def test_single_string(self):
+        sfa = chain_sfa([[("x", 1.0)], [("y", 1.0)]])
+        assert map_string(sfa) == ("xy", 1.0)
+
+
+class TestKBest:
+    def test_figure2_top3_matches_paper(self):
+        # Paper Figure 2 lists the k-MAP k=3 strings of the example chain.
+        top = k_best_strings(figure2_sfa(), 3)
+        assert [s for s, _ in top] == ["abcd", "abrd", "aqcd"]
+        assert top[0][1] == pytest.approx(0.0840)
+        assert top[1][1] == pytest.approx(0.0630)
+        assert top[2][1] == pytest.approx(0.0504)
+
+    def test_k_larger_than_support(self):
+        sfa = chain_sfa([[("a", 0.7), ("b", 0.3)]])
+        top = k_best_strings(sfa, 10)
+        assert len(top) == 2
+
+    def test_k_must_be_positive(self, figure1):
+        with pytest.raises(ValueError):
+            k_best_strings(figure1, 0)
+
+    def test_descending_order(self, figure1):
+        top = k_best_strings(figure1, 8)
+        probs = [p for _, p in top]
+        assert probs == sorted(probs, reverse=True)
+
+    @given(dag_sfas(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, sfa, k):
+        """k-best == the k most probable strings of the full distribution."""
+        top = k_best_strings(sfa, k)
+        dist = ops.string_distribution(sfa)
+        expected = sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        assert [s for s, _ in top] == [s for s, _ in expected]
+        for (_, got), (_, want) in zip(top, expected):
+            assert got == pytest.approx(want)
+
+    @given(dag_sfas())
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_consistency(self, sfa):
+        """The k-best list is a prefix of the (k+1)-best list."""
+        top3 = k_best_strings(sfa, 3)
+        top4 = k_best_strings(sfa, 4)
+        assert [s for s, _ in top3] == [s for s, _ in top4[:3]]
+
+
+class TestKBestBetween:
+    def test_sub_range(self, figure1):
+        # Between nodes 1 and 4: '0 r', '0r'... enumerate manually:
+        top = k_best_between(figure1, 1, 4, 10)
+        by_string = dict(top)
+        assert by_string["0 r"] == pytest.approx(0.6 * 0.6 * 0.8)
+        assert by_string["or"] == pytest.approx(0.4 * 0.4)
+
+    def test_within_restriction(self, figure3):
+        # Restrict to the lower branch 1 -> 2 -> 3 -> 5 of figure 3.
+        top = k_best_between(figure3, 1, 5, 10, within={2, 3, 5})
+        assert [s for s, _ in top] == ["bcd"]
+
+    def test_unreachable_gives_empty(self, figure1):
+        assert k_best_between(figure1, 3, 2, 5) == []

@@ -1,0 +1,63 @@
+"""Tests for the SFA BLOB / JSON codecs (repro.sfa.serialize)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sfa import serialize
+from repro.sfa.model import SfaError
+
+from .strategies import dag_sfas
+
+
+class TestBinaryRoundTrip:
+    def test_figure1(self, figure1):
+        blob = serialize.to_bytes(figure1)
+        assert serialize.from_bytes(blob).structurally_equal(figure1)
+
+    @given(dag_sfas())
+    @settings(max_examples=40, deadline=None)
+    def test_random_sfas(self, sfa):
+        assert serialize.from_bytes(serialize.to_bytes(sfa)).structurally_equal(sfa)
+
+    def test_unicode_emissions(self, figure1):
+        clone = figure1.copy()
+        clone.replace_emissions(0, 1, [("éß", 0.8), ("T", 0.2)])
+        blob = serialize.to_bytes(clone)
+        assert serialize.from_bytes(blob).structurally_equal(clone)
+
+    def test_blob_size_matches(self, figure1):
+        assert serialize.blob_size(figure1) == len(serialize.to_bytes(figure1))
+
+    @given(dag_sfas())
+    @settings(max_examples=20, deadline=None)
+    def test_blob_size_matches_random(self, sfa):
+        assert serialize.blob_size(sfa) == len(serialize.to_bytes(sfa))
+
+
+class TestBinaryErrors:
+    def test_bad_magic(self, figure1):
+        blob = bytearray(serialize.to_bytes(figure1))
+        blob[0:4] = b"XXXX"
+        with pytest.raises(SfaError):
+            serialize.from_bytes(bytes(blob))
+
+    def test_truncated(self, figure1):
+        blob = serialize.to_bytes(figure1)
+        with pytest.raises(SfaError):
+            serialize.from_bytes(blob[:10])
+
+    def test_trailing_garbage(self, figure1):
+        blob = serialize.to_bytes(figure1) + b"\x00"
+        with pytest.raises(SfaError):
+            serialize.from_bytes(blob)
+
+
+class TestJsonRoundTrip:
+    def test_figure1(self, figure1):
+        text = serialize.to_json(figure1)
+        assert serialize.from_json(text).structurally_equal(figure1)
+
+    @given(dag_sfas())
+    @settings(max_examples=20, deadline=None)
+    def test_random_sfas(self, sfa):
+        assert serialize.from_json(serialize.to_json(sfa)).structurally_equal(sfa)

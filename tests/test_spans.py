@@ -1,0 +1,99 @@
+"""Tests for non-Boolean (extraction) queries (repro.query.spans)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.dfa import dfa_for_pattern
+from repro.query.spans import expected_match_count, expected_matches_at
+from repro.sfa.builder import chain_sfa, from_string
+from repro.sfa.ops import enumerate_strings
+
+from .strategies import dag_sfas
+
+
+def _brute_expected_count(sfa, pattern_dfa):
+    """Sum over strings of (#occurrences x probability)."""
+    total = 0.0
+    for text, prob in enumerate_strings(sfa):
+        occurrences = 0
+        for start in range(len(text)):
+            state = pattern_dfa.start
+            for ch in text[start:]:
+                state = pattern_dfa.step(state, ch)
+                if state == -1:
+                    break
+                if pattern_dfa.is_accepting(state):
+                    occurrences += 1
+        total += prob * occurrences
+    return total
+
+
+class TestDeterministicCases:
+    def test_single_occurrence(self):
+        sfa = from_string("the law")
+        query = dfa_for_pattern("law", match_anywhere=False)
+        sites = expected_matches_at(sfa, query)
+        assert len(sites) == 1
+        ((u, v, rank, offset), mass), = sites.items()
+        assert (u, offset) == (4, 0)  # 'l' is text[4], offset 0 in its char
+        assert mass == pytest.approx(1.0)
+
+    def test_two_occurrences(self):
+        sfa = from_string("ab ab")
+        query = dfa_for_pattern("ab", match_anywhere=False)
+        sites = expected_matches_at(sfa, query)
+        assert len(sites) == 2
+        assert expected_match_count(sfa, query) == pytest.approx(2.0)
+
+    def test_straddling_edges(self):
+        # Chunked representation: 'ab' split across two edges.
+        sfa = chain_sfa([[("xa", 1.0)], [("bx", 1.0)]])
+        query = dfa_for_pattern("ab", match_anywhere=False)
+        sites = expected_matches_at(sfa, query)
+        ((u, v, rank, offset),) = sites
+        assert (u, v, rank, offset) == (0, 1, 0, 1)  # starts at 'a' in 'xa'
+        assert expected_match_count(sfa, query) == pytest.approx(1.0)
+
+    def test_probabilistic_occurrence(self, figure1):
+        query = dfa_for_pattern("rd", match_anywhere=False)
+        count = expected_match_count(figure1, query)
+        assert count == pytest.approx(_brute_expected_count(figure1, query))
+
+    def test_overlapping_occurrences(self):
+        sfa = from_string("aaa")
+        query = dfa_for_pattern("aa", match_anywhere=False)
+        assert expected_match_count(sfa, query) == pytest.approx(2.0)
+
+    def test_nested_accepts_counted_per_end(self):
+        sfa = from_string("abb")
+        query = dfa_for_pattern("a(b)*", match_anywhere=False)
+        # Occurrences: 'a', 'ab', 'abb' -- three (start, end) pairs.
+        assert expected_match_count(sfa, query) == pytest.approx(3.0)
+
+
+class TestAgainstEnumeration:
+    @given(dag_sfas(min_length=2, max_length=7))
+    @settings(max_examples=30, deadline=None)
+    def test_expected_count_matches_brute_force(self, sfa):
+        for pattern in ["a", "ab", "a(b|c)"]:
+            query = dfa_for_pattern(pattern, match_anywhere=False)
+            fast = expected_match_count(sfa, query)
+            brute = _brute_expected_count(sfa, query)
+            assert fast == pytest.approx(brute), pattern
+
+
+class TestValidation:
+    def test_rejects_match_anywhere_dfa(self, figure1):
+        query = dfa_for_pattern("rd", match_anywhere=True)
+        with pytest.raises(ValueError):
+            expected_matches_at(figure1, query)
+
+    def test_relation_to_boolean_probability(self, figure1):
+        """E[#matches] >= P[>=1 match] always."""
+        from repro.query.eval_sfa import match_probability
+
+        exact = dfa_for_pattern("rd", match_anywhere=False)
+        anywhere = dfa_for_pattern("rd", match_anywhere=True)
+        assert expected_match_count(figure1, exact) >= match_probability(
+            figure1, anywhere
+        ) - 1e-9

@@ -1,0 +1,125 @@
+"""Tests for the speech word-lattice simulator (repro.ocr.speech).
+
+The paper's Section 7 claims transducers unify OCR and speech
+transcription; these tests verify that the *entire* Staccato stack
+(k-MAP, chunk approximation, query evaluation, indexing) runs unchanged
+on word lattices.
+"""
+
+import pytest
+
+from repro.automata.trie import DictionaryTrie
+from repro.core.approximate import staccato_approximate
+from repro.core.kmap import build_kmap
+from repro.indexing.inverted import build_sfa_postings
+from repro.ocr.speech import HOMOPHONES, SimulatedSpeechEngine
+from repro.query.eval_sfa import match_probability
+from repro.query.like import compile_like
+from repro.sfa import ops
+
+
+@pytest.fixture
+def engine():
+    return SimulatedSpeechEngine(seed=5)
+
+
+class TestLatticeConstruction:
+    def test_empty_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.recognize_utterance("   ")
+
+    def test_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            SimulatedSpeechEngine(word_error_rate=1.0)
+
+    def test_valid_stochastic(self, engine):
+        lattice = engine.recognize_utterance("the claim mentions a ford truck")
+        ops.validate(lattice, require_stochastic=True)
+
+    def test_deterministic(self, engine):
+        a = engine.recognize_utterance("file the claim", utterance_seed=1)
+        b = engine.recognize_utterance("file the claim", utterance_seed=1)
+        assert a.structurally_equal(b)
+
+    def test_true_transcript_representable(self, engine):
+        text = "the insurance claim mentions a ford"
+        lattice = engine.recognize_utterance(text)
+        dist = ops.string_distribution(lattice, limit=1_000_000)
+        assert text in dist
+
+    def test_unique_paths(self, engine):
+        for seed in range(5):
+            lattice = engine.recognize_utterance(
+                "uh the new claim is right there", utterance_seed=seed
+            )
+            assert ops.has_unique_paths(lattice, limit=1_000_000)
+
+    def test_adjacent_identical_fillers_safe(self):
+        engine = SimulatedSpeechEngine(deletion_prob=1.0, seed=0)
+        for seed in range(10):
+            lattice = engine.recognize_utterance(
+                "uh uh the the claim", utterance_seed=seed
+            )
+            assert ops.has_unique_paths(lattice, limit=1_000_000)
+
+    def test_homophone_alternatives_present(self, engine):
+        lattice = engine.recognize_utterance("two claims")
+        first_words = {
+            e.string.strip() for e in lattice.emissions(0, 1)
+        }
+        assert "two" in first_words
+        assert first_words & set(HOMOPHONES["two"])
+
+    def test_filler_deletion(self):
+        engine = SimulatedSpeechEngine(deletion_prob=1.0, seed=3)
+        lattice = engine.recognize_utterance("uh claim filed")
+        dist = ops.string_distribution(lattice, limit=100_000)
+        assert any(not s.startswith("uh") for s in dist)
+
+
+class TestStaccatoOnLattices:
+    def test_kmap_and_query(self, engine):
+        lattice = engine.recognize_utterance("the claim mentions a ford")
+        top = build_kmap(lattice, 5)
+        assert len(top.strings) == 5
+        query = compile_like("%ford%")
+        prob = match_probability(lattice, query)
+        brute = sum(
+            p
+            for s, p in ops.string_distribution(lattice, limit=1_000_000).items()
+            if query.accepts(s)
+        )
+        assert prob == pytest.approx(brute)
+
+    def test_chunk_approximation(self, engine):
+        lattice = engine.recognize_utterance(
+            "the new claim mentions a ford truck on the highway"
+        )
+        approx = staccato_approximate(lattice, m=3, k=4)
+        ops.validate(approx)
+        assert approx.num_edges <= 3
+        original = ops.string_distribution(lattice, limit=5_000_000)
+        for string, prob in ops.string_distribution(approx).items():
+            assert string in original
+            assert prob == pytest.approx(original[string])
+
+    def test_map_misses_homophone_but_lattice_finds(self):
+        """The OCR story transfers: a misheard word is recoverable."""
+        engine = SimulatedSpeechEngine(word_error_rate=0.4, seed=11)
+        # Find a seed where the MAP transcript mishears 'ford'.
+        for seed in range(40):
+            lattice = engine.recognize_utterance(
+                "the claim mentions a ford", utterance_seed=seed
+            )
+            best = build_kmap(lattice, 1).map_string
+            if "ford" not in best:
+                query = compile_like("%ford%")
+                assert match_probability(lattice, query) > 0.0
+                return
+        pytest.skip("no mishearing seed found in range")
+
+    def test_dictionary_indexing(self, engine):
+        lattice = engine.recognize_utterance("the public law claim")
+        postings = build_sfa_postings(lattice, DictionaryTrie(["law", "claim"]))
+        assert "law" in postings
+        assert "claim" in postings

@@ -1,0 +1,75 @@
+"""Tests for the FST model of paper Appendix A (repro.sfa.transducer)."""
+
+import pytest
+
+from repro.sfa.model import SfaError
+from repro.sfa.ops import string_distribution, validate
+from repro.sfa.transducer import Arc, Transducer
+
+
+def _ocr_like_fst() -> Transducer:
+    """Glyph positions g0, g1 transduced to ASCII alternatives."""
+    fst = Transducer(start=0, final=2)
+    fst.add_edge(0, 1, [Arc("g0", "F", 0.8), Arc("g0", "T", 0.2)])
+    fst.add_edge(1, 2, [Arc("g1", "o", 0.6), Arc("g1", "0", 0.4)])
+    return fst
+
+
+class TestArcs:
+    def test_probability_bounds(self):
+        with pytest.raises(SfaError):
+            Arc("g", "a", 1.5)
+
+    def test_sorted_by_probability(self):
+        fst = _ocr_like_fst()
+        arcs = fst.arcs(0, 1)
+        assert [a.output for a in arcs] == ["F", "T"]
+
+
+class TestStructure:
+    def test_duplicate_edge_rejected(self):
+        fst = _ocr_like_fst()
+        with pytest.raises(SfaError):
+            fst.add_edge(0, 1, [Arc("g", "x", 1.0)])
+
+    def test_empty_edge_rejected(self):
+        fst = Transducer()
+        with pytest.raises(SfaError):
+            fst.add_edge(0, 1, [])
+
+    def test_start_final_distinct(self):
+        with pytest.raises(SfaError):
+            Transducer(start=1, final=1)
+
+    def test_alphabets(self):
+        fst = _ocr_like_fst()
+        assert fst.input_alphabet() == {"g0", "g1"}
+        assert fst.output_alphabet() == {"F", "T", "o", "0"}
+
+    def test_tuple_arcs_accepted(self):
+        fst = Transducer(0, 1)
+        fst.add_edge(0, 1, [("g", "a", 1.0)])
+        assert fst.arcs(0, 1)[0].output == "a"
+
+
+class TestProjection:
+    def test_projection_is_valid_sfa(self):
+        sfa = _ocr_like_fst().project_output()
+        validate(sfa, require_stochastic=True)
+        dist = string_distribution(sfa)
+        assert dist["Fo"] == pytest.approx(0.8 * 0.6)
+        assert dist["T0"] == pytest.approx(0.2 * 0.4)
+
+    def test_projection_merges_same_output(self):
+        fst = Transducer(0, 1)
+        # Two different glyph readings emitting the same ASCII string.
+        fst.add_edge(0, 1, [Arc("g", "a", 0.3), Arc("h", "a", 0.2), Arc("g", "b", 0.5)])
+        sfa = fst.project_output()
+        emissions = {e.string: e.prob for e in sfa.emissions(0, 1)}
+        assert emissions == pytest.approx({"a": 0.5, "b": 0.5})
+
+    def test_epsilon_output_rejected(self):
+        fst = Transducer(0, 1)
+        fst.add_edge(0, 1, [Arc("g", "", 1.0)])
+        with pytest.raises(SfaError):
+            fst.project_output()

@@ -1,0 +1,86 @@
+"""Tests for the dictionary trie automaton (repro.automata.trie)."""
+
+import pytest
+
+from repro.automata.trie import DictionaryTrie
+
+
+class TestConstruction:
+    def test_terms_inserted(self):
+        trie = DictionaryTrie(["public", "law"])
+        assert trie.num_terms == 2
+        assert trie.terms() == ["law", "public"]
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryTrie([""])
+
+    def test_prefix_sharing(self):
+        trie = DictionaryTrie(["car", "cart", "cat"])
+        # root + c + a (shared) + r + rt + t = 6 states
+        assert trie.num_states == 6
+
+    def test_duplicate_terms_idempotent(self):
+        trie = DictionaryTrie(["law", "law"])
+        assert trie.num_terms == 1
+
+
+class TestStepping:
+    def test_walk_to_final(self):
+        trie = DictionaryTrie(["law"])
+        state = trie.start
+        for ch in "law":
+            state = trie.step(state, ch)
+            assert state != trie.DEAD
+        assert trie.is_final(state)
+        assert trie.term_at(state) == "law"
+
+    def test_dead_on_mismatch(self):
+        trie = DictionaryTrie(["law"])
+        assert trie.step(trie.start, "z") == trie.DEAD
+        assert trie.step(trie.DEAD, "l") == trie.DEAD
+
+    def test_prefix_not_final(self):
+        trie = DictionaryTrie(["laws"])
+        state = trie.start
+        for ch in "law":
+            state = trie.step(state, ch)
+        assert not trie.is_final(state)
+
+    def test_nested_terms_both_final(self):
+        trie = DictionaryTrie(["law", "laws"])
+        state = trie.start
+        for ch in "law":
+            state = trie.step(state, ch)
+        assert trie.is_final(state)
+        state = trie.step(state, "s")
+        assert trie.is_final(state)
+        assert trie.term_at(state) == "laws"
+
+
+class TestCaseHandling:
+    def test_case_insensitive_by_default(self):
+        trie = DictionaryTrie(["Public"])
+        assert trie.contains("public")
+        assert trie.contains("PUBLIC")
+        assert trie.step(trie.start, "P") == trie.step(trie.start, "p")
+
+    def test_case_sensitive_mode(self):
+        trie = DictionaryTrie(["Public"], case_sensitive=True)
+        assert trie.contains("Public")
+        assert not trie.contains("public")
+
+
+class TestContains:
+    def test_contains(self):
+        trie = DictionaryTrie(["public", "law"])
+        assert trie.contains("public")
+        assert not trie.contains("pub")
+        assert not trie.contains("publicx")
+        assert not trie.contains("zzz")
+
+    def test_final_states(self):
+        trie = DictionaryTrie(["a", "b"])
+        finals = trie.final_states()
+        assert len(finals) == 2
+        assert {trie.term_at(s) for s in finals} == {"a", "b"}

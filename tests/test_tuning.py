@@ -1,0 +1,101 @@
+"""Tests for the automated (m, k) tuner (repro.core.tuning)."""
+
+import pytest
+
+from repro.core.tuning import (
+    METADATA_BYTES,
+    dataset_size_model,
+    k_on_size_boundary,
+    sample_recall,
+    size_model,
+    tune_parameters,
+)
+from repro.ocr.engine import SimulatedOcrEngine
+from repro.ocr.noise import NoiseModel
+
+
+class TestSizeModel:
+    def test_table1_formula(self):
+        # Table 1, Staccato row: l*k + 16*m*k.
+        assert size_model(100, 10, 5) == 100 * 5 + METADATA_BYTES * 10 * 5
+
+    def test_dataset_sum(self):
+        assert dataset_size_model([10, 20], 2, 3) == (
+            size_model(10, 2, 3) + size_model(20, 2, 3)
+        )
+
+    def test_boundary_k_respects_budget(self):
+        lengths = [40, 60, 50]
+        for m in (1, 5, 20):
+            budget = 50_000
+            k = k_on_size_boundary(lengths, m, budget)
+            assert dataset_size_model(lengths, m, k) <= budget
+            assert dataset_size_model(lengths, m, k + 1) > budget
+
+    def test_boundary_k_zero_when_budget_tiny(self):
+        assert k_on_size_boundary([100], 10, 1) == 0
+
+
+def _sample(fast=True):
+    noise = NoiseModel(tail_mass=0.0) if fast else NoiseModel()
+    engine = SimulatedOcrEngine(noise, seed=3)
+    texts = [
+        "the President shall report",
+        "Public Law 85 as amended",
+        "the Commission may review",
+        "the President is directed",
+    ]
+    sfas = [engine.recognize_line(t, line_seed=i) for i, t in enumerate(texts)]
+    return sfas, texts
+
+
+class TestSampleRecall:
+    def test_perfect_recall_with_full_structure(self):
+        sfas, texts = _sample()
+        max_edges = max(sfa.num_edges for sfa in sfas)
+        recall = sample_recall(sfas, texts, ["%President%"], m=max_edges, k=4)
+        assert recall == pytest.approx(1.0)
+
+    def test_no_relevant_queries_returns_one(self):
+        sfas, texts = _sample()
+        assert sample_recall(sfas, texts, ["%zzz%"], m=2, k=2) == 1.0
+
+
+class TestTuneParameters:
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            tune_parameters([], [], ["%a%"])
+
+    def test_finds_feasible_point(self):
+        sfas, texts = _sample()
+        result = tune_parameters(
+            sfas,
+            texts,
+            ["%President%", "%Law%"],
+            size_fraction=0.6,
+            recall_target=0.5,
+            m_step=5,
+        )
+        assert result.k >= 1
+        assert result.m >= 1
+        if result.feasible:
+            assert result.recall >= 0.5
+
+    def test_infeasible_reports_best_attempt(self):
+        sfas, texts = _sample()
+        result = tune_parameters(
+            sfas,
+            texts,
+            ["%President%"],
+            size_fraction=0.000001,  # impossible budget
+            recall_target=0.99,
+        )
+        assert not result.feasible
+
+    def test_smaller_budget_smaller_k(self):
+        sfas, texts = _sample()
+        loose = tune_parameters(sfas, texts, ["%Law%"], size_fraction=0.8,
+                                recall_target=0.1, m_step=5)
+        tight = tune_parameters(sfas, texts, ["%Law%"], size_fraction=0.05,
+                                recall_target=0.1, m_step=5)
+        assert tight.budget_bytes < loose.budget_bytes

@@ -1,0 +1,55 @@
+"""Tests for Yen's k-shortest-paths backend (repro.sfa.yen).
+
+The merged-lists DP in repro.sfa.paths and Yen's algorithm must agree on
+every SFA -- they are independent implementations of the same extraction,
+which makes each the oracle for the other.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfa.builder import figure2_sfa
+from repro.sfa.paths import k_best_strings
+from repro.sfa.yen import yen_k_best_strings
+
+from .strategies import chain_sfas, dag_sfas
+
+
+class TestAgainstViterbiDp:
+    @given(dag_sfas(), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_on_dags(self, sfa, k):
+        assert _close(yen_k_best_strings(sfa, k), k_best_strings(sfa, k))
+
+    @given(chain_sfas(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_on_chains(self, sfa, k):
+        assert _close(yen_k_best_strings(sfa, k), k_best_strings(sfa, k))
+
+    def test_figure2_matches_paper(self):
+        top = yen_k_best_strings(figure2_sfa(), 3)
+        assert [s for s, _ in top] == ["abcd", "abrd", "aqcd"]
+        assert top[0][1] == pytest.approx(0.0840)
+
+    def test_k_exhausts_support(self, figure1):
+        all_yen = yen_k_best_strings(figure1, 100)
+        all_dp = k_best_strings(figure1, 100)
+        assert _close(all_yen, all_dp)
+        assert len(all_yen) == 24  # figure 1 emits 24 strings
+
+    def test_k_validation(self, figure1):
+        with pytest.raises(ValueError):
+            yen_k_best_strings(figure1, 0)
+
+
+def _close(a, b):
+    """Order-insensitive up to floating-point ties: compare after sorting
+    by (rounded probability, string), then check probabilities pairwise."""
+    norm_a = sorted(a, key=lambda sp: (-round(sp[1], 9), sp[0]))
+    norm_b = sorted(b, key=lambda sp: (-round(sp[1], 9), sp[0]))
+    if [s for s, _ in norm_a] != [s for s, _ in norm_b]:
+        return False
+    return all(
+        pa == pytest.approx(pb) for (_, pa), (_, pb) in zip(norm_a, norm_b)
+    )

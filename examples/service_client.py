@@ -1,0 +1,91 @@
+"""Service quickstart: the query service end to end, over HTTP.
+
+Mirrors examples/quickstart.py for the serving path: start the
+StaccatoDB query service on an ephemeral port, batch-ingest a small
+Congress Acts corpus through ``POST /ingest``, then ask the paper's
+style of questions over the wire -- a LIKE query via ``POST /search``
+(twice, to show the result cache) and a probabilistic SELECT via
+``POST /sql`` -- and read the service counters from ``GET /stats``.
+
+Run:  PYTHONPATH=src python examples/service_client.py
+"""
+
+import tempfile
+
+from repro.bench.report import format_table
+from repro.bench.service_load import get_json, post_json
+from repro.ocr.corpus import make_ca
+from repro.service import start_service
+
+
+def main() -> None:
+    corpus = make_ca(num_docs=3, lines_per_doc=6, seed=7)
+    batch = {
+        "dataset": corpus.name,
+        "documents": [
+            {
+                "doc_id": doc.doc_id,
+                "name": doc.name,
+                "year": doc.year,
+                "loss": doc.loss,
+                "lines": list(doc.lines),
+            }
+            for doc in corpus.documents
+        ],
+        "ocr_seed": 0,
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        running = start_service(f"{tmp}/ca.db", k=6, m=10, pool_size=2)
+        try:
+            print(f"service up at {running.base_url}")
+            status, health = get_json(running.base_url, "/health")
+            print(f"GET /health -> {status} {health['status']}, "
+                  f"{health['lines']} lines stored\n")
+
+            status, reply = post_json(running.base_url, "/ingest", batch)
+            print(f"POST /ingest -> {status}: {reply['ingested_lines']} lines "
+                  f"from corpus {reply['dataset']!r} "
+                  f"in {reply['elapsed_s']:.1f}s\n")
+
+            query = {"pattern": "%President%", "approach": "staccato",
+                     "num_ans": 5}
+            status, reply = post_json(running.base_url, "/search", query)
+            print(f"POST /search {query['pattern']!r} -> {status}, "
+                  f"{reply['count']} answers "
+                  f"(plan={reply['plan']}, cached={reply['cached']}):")
+            rows = [
+                [a["line_id"], a["doc_id"], a["line_no"],
+                 f"{a['probability']:.6f}"]
+                for a in reply["answers"]
+            ]
+            print(format_table(["line", "doc", "line_no", "probability"], rows))
+
+            status, again = post_json(running.base_url, "/search", query)
+            print(f"\nsame query again -> cached={again['cached']} "
+                  "(served from the LRU result cache)\n")
+
+            sql = ("SELECT DocId, Loss FROM Claims "
+                   "WHERE DocData LIKE '%Congress%'")
+            status, reply = post_json(
+                running.base_url, "/sql", {"query": sql, "num_ans": 5}
+            )
+            print(f"POST /sql -> {status}, {reply['count']} documents:")
+            rows = [
+                [r["DocId"], r["Loss"], f"{r['Probability']:.6f}"]
+                for r in reply["rows"]
+            ]
+            print(format_table(["DocId", "Loss", "Probability"], rows))
+
+            status, stats = get_json(running.base_url, "/stats")
+            cache = stats["cache"]
+            print(f"\nGET /stats -> {stats['requests']['total']} requests, "
+                  f"cache hits={cache['hits']} misses={cache['misses']} "
+                  f"(hit rate {cache['hit_rate']:.0%})")
+        finally:
+            running.stop()
+    print("service stopped")
+
+
+if __name__ == "__main__":
+    main()

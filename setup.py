@@ -2,6 +2,17 @@
 package, so editable installs must go through `setup.py develop`
 (``pip install -e . --no-use-pep517 --no-build-isolation``)."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Staccato: probabilistic management of OCR data using an RDBMS "
+        "(VLDB 2011 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["staccato=repro.cli:main"]},
+)

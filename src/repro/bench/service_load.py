@@ -1,0 +1,136 @@
+"""Concurrent load driver for the query service (serving throughput).
+
+The other bench modules measure in-process query evaluation; this one
+measures the *serving* path end to end -- JSON framing, HTTP, the
+connection pool and the result cache -- by firing concurrent requests
+at a running service from a thread pool, stdlib-only (``urllib``).
+
+Typical use (a BENCH run or :mod:`tests.test_service`)::
+
+    from repro.service import start_service
+    from repro.bench.service_load import run_search_load
+
+    running = start_service("/tmp/ca.db")
+    result = run_search_load(
+        running.base_url, ["%President%", "%Public Law%"],
+        concurrency=8, repeats=25,
+    )
+    print(result.summary())
+
+Because the service caches repeated queries, ``repeats > 1`` measures
+the cache-hit fast path; pass distinct patterns (or ``repeats=1``) to
+measure cold evaluation throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..service.metrics import percentile
+
+__all__ = ["LoadResult", "post_json", "get_json", "run_search_load"]
+
+DEFAULT_TIMEOUT = 60.0
+
+
+def post_json(
+    base_url: str, path: str, payload: dict, timeout: float = DEFAULT_TIMEOUT
+) -> tuple[int, dict]:
+    """POST a JSON body; returns ``(status, decoded body)`` even on 4xx."""
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get_json(
+    base_url: str, path: str, timeout: float = DEFAULT_TIMEOUT
+) -> tuple[int, dict]:
+    """GET an endpoint; returns ``(status, decoded body)`` even on 4xx."""
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@dataclass(frozen=True, slots=True)
+class LoadResult:
+    """One load run's aggregate measurements."""
+
+    requests: int
+    errors: int
+    elapsed_s: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.requests} requests ({self.errors} errors) in "
+            f"{self.elapsed_s:.2f}s = {self.throughput_rps:.1f} req/s; "
+            f"latency p50={self.latency_p50_ms:.1f}ms "
+            f"p95={self.latency_p95_ms:.1f}ms "
+            f"p99={self.latency_p99_ms:.1f}ms"
+        )
+
+
+def run_search_load(
+    base_url: str,
+    patterns: list[str],
+    approach: str = "staccato",
+    plan: str = "filescan",
+    num_ans: int = 10,
+    concurrency: int = 8,
+    repeats: int = 5,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> LoadResult:
+    """Fire ``len(patterns) * repeats`` concurrent ``/search`` requests."""
+    bodies = [
+        {
+            "pattern": pattern,
+            "approach": approach,
+            "plan": plan,
+            "num_ans": num_ans,
+        }
+        for _ in range(repeats)
+        for pattern in patterns
+    ]
+
+    def one(body: dict) -> tuple[float, bool]:
+        started = time.perf_counter()
+        try:
+            status, _ = post_json(base_url, "/search", body, timeout=timeout)
+            failed = status != 200
+        except (urllib.error.URLError, OSError, json.JSONDecodeError):
+            failed = True
+        return time.perf_counter() - started, failed
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        outcomes = list(pool.map(one, bodies))
+    elapsed = time.perf_counter() - started
+    latencies = [seconds * 1000.0 for seconds, _ in outcomes]
+    errors = sum(1 for _, failed in outcomes if failed)
+    return LoadResult(
+        requests=len(bodies),
+        errors=errors,
+        elapsed_s=elapsed,
+        throughput_rps=len(bodies) / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=percentile(latencies, 50),
+        latency_p95_ms=percentile(latencies, 95),
+        latency_p99_ms=percentile(latencies, 99),
+    )

@@ -2,7 +2,8 @@
 
 What an open-source release of the prototype ships: ingest a corpus into
 a database file, run LIKE/regex/SQL queries against any storage approach,
-build the dictionary index, and run the automated parameter tuner.
+build the dictionary index, run the automated parameter tuner, and serve
+the database over HTTP.
 
 Examples::
 
@@ -13,6 +14,16 @@ Examples::
         --query "SELECT DocId, Loss FROM Claims WHERE DocData LIKE '%Ford%'"
     python -m repro index --db /tmp/ca.db --terms public law congress
     python -m repro tune --corpus ca --size-fraction 0.1 --recall 0.9
+    python -m repro serve --db /tmp/ca.db --port 8080
+
+``serve`` starts the concurrent query service of :mod:`repro.service`:
+a threaded JSON-over-HTTP server exposing ``POST /ingest`` (atomic
+batch ingestion), ``POST /search`` (LIKE/regex, filescan/indexed/auto
+plans), ``POST /sql`` (the probabilistic SELECT surface), ``GET
+/stats`` (request metrics, cache and pool counters) and ``GET
+/health`` -- backed by a reader connection pool and an LRU query-result
+cache that ingestion invalidates.  The installed console script
+``staccato`` is an alias for this module's ``main``.
 """
 
 from __future__ import annotations
@@ -141,6 +152,23 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0 if result.feasible else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve_forever
+
+    serve_forever(
+        args.db,
+        host=args.host,
+        port=args.port,
+        verbose=not args.quiet,
+        k=args.k,
+        m=args.m,
+        pool_size=args.pool_size,
+        cache_size=args.cache_size,
+        index_approach=args.index_approach,
+    )
+    return 0
+
+
 def _add_corpus_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--corpus", choices=[*_CORPORA, "scale"], default="ca",
@@ -205,6 +233,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=["%President%", "%Public Law%", r"REGEX:U.S.C. 2\d\d\d"],
     )
     tune.set_defaults(func=_cmd_tune)
+
+    serve = sub.add_parser(
+        "serve", help="serve the database over a JSON HTTP API"
+    )
+    serve.add_argument("--db", required=True, help="SQLite database path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--k", type=int, default=25)
+    serve.add_argument("--m", type=int, default=40)
+    serve.add_argument("--pool-size", type=int, default=4,
+                       help="reader connections kept open")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="query-result cache entries (0 disables)")
+    serve.add_argument(
+        "--index-approach", choices=("kmap", "staccato"), default="staccato",
+        help="approach whose dictionary index indexed plans use",
+    )
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -47,8 +47,19 @@ DEFAULT_WINDOW = 24
 class StaccatoDB:
     """Probabilistic OCR data management on top of SQLite."""
 
-    def __init__(self, path: str = ":memory:", k: int = 25, m: int = 40) -> None:
-        self.conn = sqlite3.connect(path)
+    def __init__(
+        self,
+        path: str = ":memory:",
+        k: int = 25,
+        m: int = 40,
+        *,
+        check_same_thread: bool = True,
+        timeout: float = 30.0,
+    ) -> None:
+        self.path = path
+        self.conn = sqlite3.connect(
+            path, check_same_thread=check_same_thread, timeout=timeout
+        )
         self.k = k
         self.m = m
         self._trie: DictionaryTrie | None = None
@@ -178,9 +189,57 @@ class StaccatoDB:
                 " VALUES (?, ?, ?, ?, ?, ?)",
                 rows,
             )
+            self.conn.execute(
+                "INSERT OR REPLACE INTO IndexMeta (Key, Value) "
+                "VALUES ('approach', ?)",
+                (approach,),
+            )
         self._trie = trie
         self._index_approach = approach
         return len(rows)
+
+    def stored_index_approach(self) -> str | None:
+        """The approach the persisted index was built over, if recorded."""
+        row = self.conn.execute(
+            "SELECT Value FROM IndexMeta WHERE Key = 'approach'"
+        ).fetchone()
+        return row[0] if row else None
+
+    def load_index(self, approach: str | None = None) -> bool:
+        """Rebuild the in-memory anchor trie from the stored index.
+
+        ``build_index`` persists its postings (and which approach they
+        were built over) but keeps the dictionary trie only on the
+        instance that built it.  A pooled connection
+        (:mod:`repro.service.pool`) opened later against the same file
+        calls this to recover the trie from the ``InvertedIndex`` terms,
+        so indexed plans work on every connection.  The recorded approach
+        always wins -- a posting's ``(U, V)`` coordinates only mean
+        anything against the representation that produced them -- so
+        ``approach`` is just a fallback for databases predating the
+        ``IndexMeta`` record.  Returns ``True`` when an index was found.
+        """
+        terms = [
+            term
+            for (term,) in self.conn.execute(
+                "SELECT DISTINCT Term FROM InvertedIndex"
+            )
+        ]
+        if not terms:
+            return False
+        self._trie = DictionaryTrie(terms)
+        self._index_approach = (
+            self.stored_index_approach() or approach or "staccato"
+        )
+        return True
+
+    def index_covers(self, like: str, approach: str) -> bool:
+        """True when ``indexed_search`` would really use the index plan
+        (trie loaded for this approach and the query has a usable anchor),
+        False when it would silently fall back to the filescan."""
+        if self._trie is None or self._index_approach != approach:
+            return False
+        return anchor_for_query(like, self._trie) is not None
 
     def index_postings(self, term: str) -> dict[int, set[Posting]]:
         """Posting lists of one term, grouped by line (B-tree probe)."""
@@ -221,11 +280,9 @@ class StaccatoDB:
         anchor or no index has been built (the paper's parser makes the
         same decision).
         """
-        if self._trie is None or self._index_approach != approach:
+        if not self.index_covers(like, approach):
             return self.search(like, approach=approach, num_ans=num_ans)
         anchor = anchor_for_query(like, self._trie)
-        if anchor is None:
-            return self.search(like, approach=approach, num_ans=num_ans)
         candidates = self.index_postings(anchor)
         if not candidates:
             return []

@@ -26,6 +26,7 @@ TABLES = [
     "StaccatoGraph",
     "GroundTruth",
     "InvertedIndex",
+    "IndexMeta",
 ]
 
 _DDL = """
@@ -85,6 +86,11 @@ CREATE TABLE IF NOT EXISTS InvertedIndex (
 );
 
 CREATE INDEX IF NOT EXISTS idx_inverted_term ON InvertedIndex(Term);
+
+CREATE TABLE IF NOT EXISTS IndexMeta (
+    Key   TEXT PRIMARY KEY,
+    Value TEXT NOT NULL
+);
 """
 
 

@@ -93,7 +93,10 @@ def ingest_dataset(
 ) -> int:
     """OCR every line of ``dataset`` and store the chosen representations.
 
-    Returns the number of lines ingested.  The ``map`` approach is served
+    Returns the number of lines ingested.  Each call is one batch: every
+    insert happens inside a single transaction (atomic per batch), and
+    DataKeys are offset past any existing rows so repeated batches append
+    rather than collide.  The ``map`` approach is served
     by the rank-0 rows of ``kMAPData``, so requesting ``"map"`` ensures at
     least k >= 1 strings are stored.  ``workers`` fans the per-line
     representation building out over a process pool -- construction is
@@ -106,7 +109,16 @@ def ingest_dataset(
     doc_rows = [
         (doc.doc_id, doc.name, doc.year, doc.loss) for doc in dataset.documents
     ]
-    lines = dataset.lines()
+    # Batch ingestion appends: a dataset's line ids start at 0, so shift
+    # them past the highest DataKey already stored.  A fresh database gets
+    # offset 0, preserving the line_id == DataKey identity.
+    (offset,) = conn.execute(
+        "SELECT COALESCE(MAX(DataKey) + 1, 0) FROM MasterData"
+    ).fetchone()
+    lines = [
+        (line_id + offset, doc_id, line_no, text)
+        for line_id, doc_id, line_no, text in dataset.lines()
+    ]
     master_rows = [
         (line_id, f"{dataset.name}-{doc_id}", doc_id, line_no)
         for line_id, doc_id, line_no, _ in lines

@@ -1,0 +1,80 @@
+"""The StaccatoDB query service: a concurrent JSON-over-HTTP API.
+
+The paper stores OCR transducer approximations in an RDBMS so
+applications can query them like any other relation; this subsystem is
+the serving tier that promise implies -- a stdlib-only threaded HTTP
+server (no dependencies beyond ``http.server``) in front of one
+StaccatoDB file.  Start it with::
+
+    python -m repro serve --db /tmp/ca.db --port 8080
+
+or in-process (tests, examples)::
+
+    from repro.service import start_service
+    running = start_service("/tmp/ca.db", port=0)   # ephemeral port
+    ...
+    running.stop()
+
+HTTP API (all bodies and responses are JSON):
+
+``GET /health``
+    Liveness probe: ``{"status": "ok", "lines": N, ...}``.
+
+``GET /stats``
+    Operational snapshot: per-endpoint request counts and latency
+    percentiles, cache hit/miss/eviction counters, pool occupancy and
+    per-approach storage bytes.
+
+``POST /ingest``
+    Batch document ingestion, atomic per batch (one transaction).
+    Body: ``{"dataset": "name", "documents": [{"doc_id": 1, "name":
+    "...", "year": 2010, "loss": 1234.5, "lines": ["...", ...]},
+    ...], "ocr_seed": 0, "approaches": ["kmap", "fullsfa",
+    "staccato"]}``.  DataKeys are offset past existing rows, so
+    repeated batches append.  A committed batch invalidates the
+    query-result cache.
+
+``POST /search``
+    LIKE/regex query against any approach.  Body: ``{"pattern":
+    "%Ford%", "approach": "staccato", "plan": "filescan" | "indexed" |
+    "auto", "num_ans": 100}``.  Response: the ranked probabilistic
+    relation (``answers`` rows with ``line_id``/``doc_id``/``line_no``/
+    ``probability``) plus ``cached`` and the plan actually used.
+
+``POST /sql``
+    The probabilistic SELECT surface of :mod:`repro.db.sql`.  Body:
+    ``{"query": "SELECT DocId, Loss FROM Claims WHERE DocData LIKE
+    '%Ford%'", "approach": "staccato", "num_ans": 100}``.
+
+Errors come back as ``{"error": {"code": ..., "message": ...}}`` with
+a 4xx/5xx status.
+
+Architecture: reads fan out over a :class:`~repro.service.pool.
+ConnectionPool` of ``check_same_thread=False`` SQLite connections (one
+lock per connection); writes serialize through a single writer
+connection in WAL mode; identical queries are served from a
+thread-safe LRU :class:`~repro.service.cache.QueryCache` keyed on
+``(db, pattern, approach, plan, num_ans)``; and a
+:class:`~repro.service.metrics.ServiceMetrics` registry feeds
+``/stats``.
+"""
+
+from .app import QueryService
+from .cache import QueryCache
+from .metrics import ServiceMetrics
+from .pool import ConnectionPool, PoolClosed
+from .server import RunningService, build_server, serve_forever, start_service
+from .validation import ApiError
+
+__all__ = [
+    "QueryService",
+    "QueryCache",
+    "ServiceMetrics",
+    "ConnectionPool",
+    "PoolClosed",
+    "ApiError",
+    "RunningService",
+    "build_server",
+    "serve_forever",
+    "start_service",
+]

@@ -1,0 +1,227 @@
+"""QueryService: the transport-independent core of the query service.
+
+One instance owns everything the HTTP layer needs:
+
+* a :class:`~repro.service.pool.ConnectionPool` of readers;
+* a single writer connection behind a write lock (SQLite allows one
+  writer; serializing batches in-process avoids busy-retry storms);
+* the :class:`~repro.service.cache.QueryCache`, invalidated after every
+  committed batch;
+* the :class:`~repro.service.metrics.ServiceMetrics` registry.
+
+Methods mirror the endpoints 1:1 (``ingest``/``search``/``sql``/
+``stats``/``health``) and speak plain dicts, so tests can exercise the
+full service logic without a socket, and the HTTP handler stays a thin
+JSON shim.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..db.engine import APPROACHES, StaccatoDB
+from ..db.planner import execute_plan
+from ..db.sql import SqlError, execute_select
+from ..ocr.engine import SimulatedOcrEngine
+from ..query.answers import Answer
+from .cache import QueryCache
+from .metrics import ServiceMetrics
+from .pool import ConnectionPool
+from .validation import (
+    ApiError,
+    validate_ingest,
+    validate_search,
+    validate_sql,
+)
+
+__all__ = ["QueryService"]
+
+
+def _answer_row(answer: Answer) -> dict[str, object]:
+    return {
+        "line_id": answer.line_id,
+        "doc_id": answer.doc_id,
+        "line_no": answer.line_no,
+        "probability": answer.probability,
+    }
+
+
+class QueryService:
+    """The StaccatoDB query service over one database file."""
+
+    def __init__(
+        self,
+        path: str,
+        k: int = 25,
+        m: int = 40,
+        pool_size: int = 4,
+        cache_size: int = 256,
+        index_approach: str = "staccato",
+    ) -> None:
+        if path == ":memory:":
+            raise ValueError(
+                "the service needs a database file shared across "
+                "connections; ':memory:' databases are per-connection"
+            )
+        self.path = path
+        self.index_approach = index_approach
+        # The writer goes first so a fresh file gets its schema (and WAL
+        # mode, letting pooled readers proceed during a batch commit)
+        # before any reader connects.
+        self._writer = StaccatoDB(path, k=k, m=m, check_same_thread=False)
+        try:
+            self._writer.conn.execute("PRAGMA journal_mode=WAL")
+        except Exception:
+            pass  # e.g. filesystems without mmap/locking; rollback mode works
+        self._write_lock = threading.Lock()
+        self.pool = ConnectionPool(
+            path, size=pool_size, k=k, m=m, index_approach=index_approach
+        )
+        self.cache = QueryCache(cache_size)
+        self.metrics = ServiceMetrics()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.pool.close()
+        self._writer.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def ingest(self, payload: object) -> dict[str, object]:
+        """Ingest one batch of documents; atomic, invalidates the cache."""
+        request = validate_ingest(payload)
+        ocr = SimulatedOcrEngine(seed=request.ocr_seed)
+        started = time.perf_counter()
+        with self._write_lock:
+            count = self._writer.ingest(
+                request.dataset,
+                ocr,
+                approaches=request.approaches,
+                workers=request.workers,
+            )
+            total = self._writer.num_lines
+        # The committed batch changes every query's universe: drop all
+        # cached results so readers never serve pre-batch answers.
+        self.cache.invalidate()
+        return {
+            "dataset": request.dataset.name,
+            "ingested_lines": count,
+            "total_lines": total,
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+    # ------------------------------------------------------------------
+    def search(self, payload: object) -> dict[str, object]:
+        """LIKE/regex search, served from cache when possible."""
+        request = validate_search(payload)
+        key = (
+            "search",
+            self.path,
+            request.pattern,
+            request.approach,
+            request.plan,
+            request.num_ans,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return {**cached, "cached": True}
+        generation = self.cache.generation
+        started = time.perf_counter()
+        with self.pool.acquire() as db:
+            if request.plan == "auto":
+                plan, answers = execute_plan(
+                    db,
+                    request.pattern,
+                    approach=request.approach,
+                    num_ans=request.num_ans,
+                )
+                plan_label = f"auto:{plan.kind}"
+            elif request.plan == "indexed":
+                answers = db.indexed_search(
+                    request.pattern,
+                    approach=request.approach,
+                    num_ans=request.num_ans,
+                )
+                plan_label = (
+                    "indexed"
+                    if db.index_covers(request.pattern, request.approach)
+                    else "indexed:filescan-fallback"
+                )
+            else:
+                answers = db.search(
+                    request.pattern,
+                    approach=request.approach,
+                    num_ans=request.num_ans,
+                )
+                plan_label = "filescan"
+        result = {
+            "pattern": request.pattern,
+            "approach": request.approach,
+            "plan": plan_label,
+            "count": len(answers),
+            "answers": [_answer_row(a) for a in answers],
+            "elapsed_s": time.perf_counter() - started,
+        }
+        self.cache.put(key, result, generation=generation)
+        return {**result, "cached": False}
+
+    # ------------------------------------------------------------------
+    def sql(self, payload: object) -> dict[str, object]:
+        """The probabilistic SELECT surface of :mod:`repro.db.sql`."""
+        request = validate_sql(payload)
+        key = ("sql", self.path, request.query, request.approach, request.num_ans)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return {**cached, "cached": True}
+        generation = self.cache.generation
+        started = time.perf_counter()
+        with self.pool.acquire() as db:
+            try:
+                rows = execute_select(
+                    db,
+                    request.query,
+                    approach=request.approach,
+                    num_ans=request.num_ans,
+                )
+            except SqlError as exc:
+                raise ApiError(400, str(exc), code="sql_error") from exc
+        result = {
+            "query": request.query,
+            "approach": request.approach,
+            "count": len(rows),
+            "rows": rows,
+            "elapsed_s": time.perf_counter() - started,
+        }
+        self.cache.put(key, result, generation=generation)
+        return {**result, "cached": False}
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, object]:
+        """Liveness: the database answers a trivial query."""
+        with self.pool.acquire() as db:
+            lines = db.num_lines
+        return {
+            "status": "ok",
+            "db": self.path,
+            "lines": lines,
+            "uptime_s": self.metrics.uptime_s,
+        }
+
+    def stats(self) -> dict[str, object]:
+        """Operational snapshot: db, cache, pool and request metrics."""
+        with self.pool.acquire() as db:
+            lines = db.num_lines
+            storage = {a: db.storage_bytes(a) for a in APPROACHES}
+        return {
+            "db": {"path": self.path, "lines": lines, "storage_bytes": storage},
+            "cache": self.cache.stats(),
+            "pool": self.pool.stats(),
+            "requests": self.metrics.snapshot(),
+            "uptime_s": self.metrics.uptime_s,
+        }

@@ -1,0 +1,80 @@
+"""Service metrics: request counters and latency percentiles.
+
+One registry per service instance.  Every handled request records its
+endpoint, outcome and wall-clock latency; ``snapshot`` condenses that
+into the ``/stats`` payload -- per-endpoint counts, error counts and
+p50/p90/p99/mean latency in milliseconds.  Latencies are kept in a
+bounded ring per endpoint so a long-lived server's memory stays flat and
+the percentiles track recent behaviour rather than all history.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+#: Latency samples retained per endpoint.
+DEFAULT_WINDOW = 2048
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The q-th percentile (0 < q <= 100) by nearest-rank on sorted data."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServiceMetrics:
+    """Thread-safe request/latency registry for the query service."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._counts: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._latencies: dict[str, deque[float]] = {}
+        self.started_at = time.monotonic()
+
+    def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
+        """Record one handled request."""
+        with self._lock:
+            self._counts[endpoint] = self._counts.get(endpoint, 0) + 1
+            if error:
+                self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
+            ring = self._latencies.setdefault(
+                endpoint, deque(maxlen=self._window)
+            )
+            ring.append(seconds)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def snapshot(self) -> dict[str, object]:
+        """The ``/stats`` view: totals plus per-endpoint breakdown."""
+        with self._lock:
+            endpoints: dict[str, object] = {}
+            for endpoint, count in sorted(self._counts.items()):
+                samples = list(self._latencies.get(endpoint, ()))
+                millis = [s * 1000.0 for s in samples]
+                endpoints[endpoint] = {
+                    "count": count,
+                    "errors": self._errors.get(endpoint, 0),
+                    "latency_ms": {
+                        "mean": sum(millis) / len(millis) if millis else 0.0,
+                        "p50": percentile(millis, 50),
+                        "p90": percentile(millis, 90),
+                        "p99": percentile(millis, 99),
+                    },
+                }
+            return {
+                "total": sum(self._counts.values()),
+                "total_errors": sum(self._errors.values()),
+                "endpoints": endpoints,
+            }

@@ -1,0 +1,231 @@
+"""The HTTP layer: routing, JSON framing and server lifecycle.
+
+A thin shim over :class:`~repro.service.app.QueryService` built on the
+stdlib ``ThreadingHTTPServer`` (one thread per request, daemonic).  The
+handler reads a JSON body, dispatches to the matching service method,
+and writes the JSON response; every request -- including failures --
+is timed into the service's metrics registry.
+
+Two entry points:
+
+* :func:`start_service` -- start in a background thread on an ephemeral
+  port, returning a :class:`RunningService` handle (tests, examples);
+* :func:`serve_forever` -- blocking foreground server (the
+  ``python -m repro serve`` command).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .app import QueryService
+from .validation import ApiError
+
+__all__ = [
+    "build_server",
+    "start_service",
+    "serve_forever",
+    "RunningService",
+]
+
+#: Largest accepted request body; OCR batches are text, so 32 MiB is
+#: generous while still bounding a misbehaving client.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+GET_ROUTES = {"/health": "health", "/stats": "stats"}
+POST_ROUTES = {"/ingest": "ingest", "/search": "search", "/sql": "sql"}
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's QueryService."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: without it a client that declares a Content-Length
+    #: and never finishes sending would pin its handler thread forever.
+    timeout = 60.0
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        endpoint = GET_ROUTES.get(self.path)
+        if endpoint is None:
+            self._dispatch_unknown()
+            return
+        self._dispatch(endpoint, with_body=False)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        endpoint = POST_ROUTES.get(self.path)
+        if endpoint is None:
+            self._dispatch_unknown()
+            return
+        self._dispatch(endpoint, with_body=True)
+
+    # ------------------------------------------------------------------
+    def _dispatch_unknown(self) -> None:
+        known = sorted(GET_ROUTES) + sorted(POST_ROUTES)
+        error = ApiError(
+            404, f"no route for {self.path!r}; endpoints: {known}", "not_found"
+        )
+        self._finish("unknown", 404, error.to_payload(), time.perf_counter())
+
+    def _dispatch(self, endpoint: str, with_body: bool) -> None:
+        service = self.server.service
+        started = time.perf_counter()
+        try:
+            if with_body:
+                payload = self._read_json()
+                result = getattr(service, endpoint)(payload)
+            else:
+                result = getattr(service, endpoint)()
+            status = 200
+        except ApiError as exc:
+            status, result = exc.status, exc.to_payload()
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            status = 500
+            result = ApiError(
+                500, f"{type(exc).__name__}: {exc}", "internal_error"
+            ).to_payload()
+        self._finish(endpoint, status, result, started)
+
+    def _finish(
+        self, endpoint: str, status: int, payload: dict, started: float
+    ) -> None:
+        elapsed = time.perf_counter() - started
+        self.server.service.metrics.observe(
+            endpoint, elapsed, error=status >= 400
+        )
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to salvage
+
+    def _read_json(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise ApiError(400, "bad Content-Length header") from None
+        if length <= 0:
+            raise ApiError(400, "request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(
+                413, f"body exceeds {MAX_BODY_BYTES} bytes", "payload_too_large"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}", "bad_json") from None
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the QueryService for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def build_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (but do not run) the HTTP server; port 0 picks one free."""
+    return ServiceHTTPServer((host, port), service, verbose=verbose)
+
+
+@dataclass
+class RunningService:
+    """A service running in a background thread, with clean shutdown."""
+
+    service: QueryService
+    server: ServiceHTTPServer
+    thread: threading.Thread
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        host = self.server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def stop(self) -> None:
+        """Stop serving, join the thread and close every connection."""
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10)
+        self.service.close()
+
+    def __enter__(self) -> "RunningService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_service(
+    db_path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **service_kwargs,
+) -> RunningService:
+    """Start a query service in a daemon thread; returns its handle."""
+    service = QueryService(db_path, **service_kwargs)
+    server = build_server(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="staccato-service", daemon=True
+    )
+    thread.start()
+    return RunningService(service=service, server=server, thread=thread)
+
+
+def serve_forever(
+    db_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = True,
+    **service_kwargs,
+) -> None:
+    """Run the service in the foreground until interrupted (CLI path)."""
+    service = QueryService(db_path, **service_kwargs)
+    server = build_server(service, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"staccato service listening on http://{bound_host}:{bound_port} "
+        f"(db={db_path})"
+    )
+    print(
+        "endpoints: GET /health, GET /stats, "
+        "POST /ingest, POST /search, POST /sql"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()

@@ -1,0 +1,202 @@
+"""Request validation and structured API errors.
+
+Every endpoint parses its JSON body through one of the ``validate_*``
+functions below, which either return a typed request object or raise
+:class:`ApiError`.  The HTTP layer turns an ApiError into a structured
+response body::
+
+    {"error": {"code": "bad_request", "message": "..."}}
+
+with the error's HTTP status, so clients can branch on ``code`` without
+scraping messages.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..db.engine import APPROACHES
+from ..ocr.corpus import Dataset, Document
+
+__all__ = [
+    "ApiError",
+    "SearchRequest",
+    "SqlRequest",
+    "IngestRequest",
+    "validate_search",
+    "validate_sql",
+    "validate_ingest",
+    "PLANS",
+]
+
+PLANS = ("filescan", "indexed", "auto")
+
+#: Representations an ingest batch may request.
+INGEST_APPROACHES = ("map", "kmap", "fullsfa", "staccato")
+
+
+class ApiError(Exception):
+    """A client-visible error with an HTTP status and stable code."""
+
+    def __init__(
+        self, status: int, message: str, code: str = "bad_request"
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+@dataclass(frozen=True, slots=True)
+class SearchRequest:
+    pattern: str
+    approach: str
+    plan: str
+    num_ans: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class SqlRequest:
+    query: str
+    approach: str
+    num_ans: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class IngestRequest:
+    dataset: Dataset
+    ocr_seed: int
+    approaches: tuple[str, ...]
+    workers: int | None
+
+
+# ----------------------------------------------------------------------
+def _mapping(payload: Any) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise ApiError(400, "request body must be a JSON object")
+    return payload
+
+
+def _required_str(payload: Mapping[str, Any], key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise ApiError(400, f"{key!r} must be a non-empty string")
+    return value
+
+
+def _choice(
+    payload: Mapping[str, Any], key: str, choices: Sequence[str], default: str
+) -> str:
+    value = payload.get(key, default)
+    if value not in choices:
+        raise ApiError(
+            400, f"{key!r} must be one of {list(choices)}, got {value!r}"
+        )
+    return value
+
+
+def _optional_int(
+    payload: Mapping[str, Any],
+    key: str,
+    default: int | None,
+    minimum: int | None = None,
+) -> int | None:
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ApiError(400, f"{key!r} must be an integer or null")
+    if minimum is not None and value < minimum:
+        raise ApiError(400, f"{key!r} must be >= {minimum}")
+    return value
+
+
+# ----------------------------------------------------------------------
+def validate_search(payload: Any) -> SearchRequest:
+    """``POST /search`` body -> SearchRequest."""
+    body = _mapping(payload)
+    return SearchRequest(
+        pattern=_required_str(body, "pattern"),
+        approach=_choice(body, "approach", APPROACHES, "staccato"),
+        plan=_choice(body, "plan", PLANS, "filescan"),
+        num_ans=_optional_int(body, "num_ans", default=100, minimum=1),
+    )
+
+
+def validate_sql(payload: Any) -> SqlRequest:
+    """``POST /sql`` body -> SqlRequest."""
+    body = _mapping(payload)
+    return SqlRequest(
+        query=_required_str(body, "query"),
+        approach=_choice(body, "approach", APPROACHES, "staccato"),
+        num_ans=_optional_int(body, "num_ans", default=100, minimum=1),
+    )
+
+
+def validate_ingest(payload: Any) -> IngestRequest:
+    """``POST /ingest`` body -> IngestRequest (a one-batch Dataset)."""
+    body = _mapping(payload)
+    raw_docs = body.get("documents")
+    if not isinstance(raw_docs, list) or not raw_docs:
+        raise ApiError(400, "'documents' must be a non-empty list")
+    name = body.get("dataset", "service-batch")
+    if not isinstance(name, str) or not name:
+        raise ApiError(400, "'dataset' must be a non-empty string")
+    documents: list[Document] = []
+    seen_ids: set[int] = set()
+    for position, raw in enumerate(raw_docs):
+        doc = _mapping(raw)
+        doc_id = _optional_int(doc, "doc_id", default=None)
+        if doc_id is None:
+            raise ApiError(400, f"documents[{position}] needs an integer 'doc_id'")
+        if doc_id in seen_ids:
+            raise ApiError(400, f"duplicate doc_id {doc_id} in batch")
+        seen_ids.add(doc_id)
+        lines = doc.get("lines")
+        if (
+            not isinstance(lines, list)
+            or not lines
+            or not all(isinstance(line, str) for line in lines)
+        ):
+            raise ApiError(
+                400,
+                f"documents[{position}].lines must be a non-empty list of strings",
+            )
+        loss = doc.get("loss", 0.0)
+        if isinstance(loss, bool) or not isinstance(loss, (int, float)):
+            raise ApiError(400, f"documents[{position}].loss must be a number")
+        doc_name = doc.get("name", f"doc-{doc_id}")
+        if not isinstance(doc_name, str):
+            raise ApiError(400, f"documents[{position}].name must be a string")
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                name=doc_name,
+                year=_optional_int(doc, "year", default=0) or 0,
+                loss=float(loss),
+                lines=tuple(lines),
+            )
+        )
+    raw_approaches = body.get("approaches", ["kmap", "fullsfa", "staccato"])
+    if not isinstance(raw_approaches, list) or not raw_approaches:
+        raise ApiError(400, "'approaches' must be a non-empty list")
+    bad = [a for a in raw_approaches if a not in INGEST_APPROACHES]
+    if bad:
+        raise ApiError(
+            400, f"unknown approaches {bad!r}; choose from {list(INGEST_APPROACHES)}"
+        )
+    workers = _optional_int(body, "workers", default=None, minimum=1)
+    if workers is not None:
+        # Client-supplied, so bound it: each worker is a forked process.
+        workers = min(workers, os.cpu_count() or 1)
+    return IngestRequest(
+        dataset=Dataset(name=name, documents=documents),
+        ocr_seed=_optional_int(body, "ocr_seed", default=0) or 0,
+        approaches=tuple(raw_approaches),
+        workers=workers,
+    )

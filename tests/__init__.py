@@ -1,0 +1,7 @@
+"""Test package marker.
+
+Several test modules import shared hypothesis strategies with a relative
+import (``from .strategies import dag_sfas``); this file makes ``tests``
+a proper package so those imports resolve under pytest's rootdir-based
+collection.
+"""

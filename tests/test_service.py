@@ -1,0 +1,438 @@
+"""Tests for the query service (repro.service).
+
+Unit tests cover the cache, metrics and pool in isolation; the
+integration tests run a live ``ThreadingHTTPServer`` on an ephemeral
+port and exercise ingest -> search -> sql round-trips over real HTTP,
+including cache hit/miss behaviour, invalidation on ingest, concurrent
+clients and malformed-request handling.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.bench.service_load import get_json, post_json, run_search_load
+from repro.db.engine import StaccatoDB
+from repro.db.sql import execute_select
+from repro.ocr.corpus import make_ca
+from repro.service import (
+    ConnectionPool,
+    PoolClosed,
+    QueryCache,
+    QueryService,
+    ServiceMetrics,
+    start_service,
+)
+from repro.service.metrics import percentile
+
+K, M = 4, 6
+
+
+# ----------------------------------------------------------------------
+class TestQueryCache:
+    def test_miss_then_hit(self):
+        cache = QueryCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh 'a'; 'b' becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_invalidate_clears(self):
+        cache = QueryCache(4)
+        cache.put("a", 1)
+        cache.invalidate()
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+
+    def test_zero_capacity_disables(self):
+        cache = QueryCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+    def test_stale_generation_put_is_dropped(self):
+        # A result computed before an invalidation must not be cached
+        # after it (the ingest/search race).
+        cache = QueryCache(4)
+        generation = cache.generation
+        cache.invalidate()
+        cache.put("a", "stale", generation=generation)
+        assert cache.get("a") is None
+        cache.put("a", "fresh", generation=cache.generation)
+        assert cache.get("a") == "fresh"
+
+    def test_stats_hit_rate(self):
+        cache = QueryCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+class TestServiceMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile([], 50) == 0.0
+
+    def test_snapshot_counts_and_errors(self):
+        metrics = ServiceMetrics()
+        metrics.observe("search", 0.010)
+        metrics.observe("search", 0.030, error=True)
+        snap = metrics.snapshot()
+        assert snap["total"] == 2 and snap["total_errors"] == 1
+        search = snap["endpoints"]["search"]
+        assert search["count"] == 2 and search["errors"] == 1
+        assert search["latency_ms"]["p50"] == pytest.approx(10.0, rel=0.01)
+
+
+class TestConnectionPool:
+    def test_exclusive_checkout(self, tmp_path):
+        path = str(tmp_path / "pool.db")
+        StaccatoDB(path).close()  # create schema
+        pool = ConnectionPool(path, size=2)
+        with pool.acquire() as a, pool.acquire() as b:
+            assert a is not b
+            assert pool.stats()["in_use"] == 2
+        assert pool.stats()["in_use"] == 0
+        assert pool.stats()["checkouts"] == 2
+        pool.close()
+
+    def test_acquire_timeout_when_exhausted(self, tmp_path):
+        path = str(tmp_path / "pool.db")
+        StaccatoDB(path).close()
+        pool = ConnectionPool(path, size=1)
+        with pool.acquire():
+            with pytest.raises(TimeoutError):
+                with pool.acquire(timeout=0.05):
+                    pass
+        pool.close()
+
+    def test_closed_pool_raises(self, tmp_path):
+        path = str(tmp_path / "pool.db")
+        StaccatoDB(path).close()
+        pool = ConnectionPool(path, size=1)
+        pool.close()
+        with pytest.raises(PoolClosed):
+            with pool.acquire():
+                pass
+
+    def test_concurrent_readers_never_share(self, tmp_path):
+        path = str(tmp_path / "pool.db")
+        StaccatoDB(path).close()
+        pool = ConnectionPool(path, size=2)
+        in_use: set[int] = set()
+        overlap: list[str] = []
+        guard = threading.Lock()
+
+        def reader(_: int) -> None:
+            with pool.acquire() as db:
+                with guard:
+                    if id(db) in in_use:
+                        overlap.append("shared connection!")
+                    in_use.add(id(db))
+                db.num_lines
+                with guard:
+                    in_use.discard(id(db))
+
+        with ThreadPoolExecutor(max_workers=8) as workers:
+            list(workers.map(reader, range(32)))
+        assert not overlap
+        pool.close()
+
+    def test_memory_db_rejected_by_service(self):
+        with pytest.raises(ValueError):
+            QueryService(":memory:")
+
+
+# ----------------------------------------------------------------------
+def _batch_payload(corpus) -> dict:
+    return {
+        "dataset": corpus.name,
+        "documents": [
+            {
+                "doc_id": doc.doc_id,
+                "name": doc.name,
+                "year": doc.year,
+                "loss": doc.loss,
+                "lines": list(doc.lines),
+            }
+            for doc in corpus.documents
+        ],
+        "ocr_seed": 0,
+    }
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    """A running service with one small CA batch already ingested."""
+    db_path = str(tmp_path_factory.mktemp("service") / "ca.db")
+    running = start_service(db_path, k=K, m=M, pool_size=3, cache_size=64)
+    corpus = make_ca(num_docs=2, lines_per_doc=3, seed=1)
+    status, reply = post_json(running.base_url, "/ingest", _batch_payload(corpus))
+    assert status == 200 and reply["ingested_lines"] == 6
+    yield running
+    running.stop()
+
+
+class TestEndpoints:
+    def test_health(self, live):
+        status, body = get_json(live.base_url, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["lines"] >= 6
+
+    def test_search_matches_in_process_engine(self, live):
+        pattern = "%Congress%"
+        status, body = post_json(
+            live.base_url,
+            "/search",
+            {"pattern": pattern, "approach": "staccato", "num_ans": 20},
+        )
+        assert status == 200 and body["plan"] == "filescan"
+        with StaccatoDB(live.service.path, k=K, m=M) as db:
+            expected = db.search(pattern, approach="staccato", num_ans=20)
+        assert [a["line_id"] for a in body["answers"]] == [
+            e.line_id for e in expected
+        ]
+        for got, want in zip(body["answers"], expected):
+            assert got["probability"] == pytest.approx(want.probability)
+            assert (got["doc_id"], got["line_no"]) == (want.doc_id, want.line_no)
+
+    @pytest.mark.parametrize("approach", ["map", "kmap"])
+    def test_search_other_approaches(self, live, approach):
+        status, body = post_json(
+            live.base_url,
+            "/search",
+            {"pattern": "%Law%", "approach": approach},
+        )
+        assert status == 200
+        with StaccatoDB(live.service.path, k=K, m=M) as db:
+            expected = db.search("%Law%", approach=approach)
+        assert [a["line_id"] for a in body["answers"]] == [
+            e.line_id for e in expected
+        ]
+
+    def test_sql_round_trip(self, live):
+        sql = "SELECT DocId, Loss FROM Claims WHERE DocData LIKE '%Congress%'"
+        status, body = post_json(live.base_url, "/sql", {"query": sql})
+        assert status == 200
+        with StaccatoDB(live.service.path, k=K, m=M) as db:
+            expected = execute_select(db, sql, approach="staccato")
+        assert body["count"] == len(expected)
+        for got, want in zip(body["rows"], expected):
+            assert got["DocId"] == want["DocId"]
+            assert got["Probability"] == pytest.approx(want["Probability"])
+
+    def test_indexed_plan_reports_fallback_without_index(self, live):
+        status, body = post_json(
+            live.base_url,
+            "/search",
+            {"pattern": "%Commission%", "plan": "indexed"},
+        )
+        assert status == 200
+        assert body["plan"] == "indexed:filescan-fallback"
+
+    def test_indexed_plan_after_index_reload(self, live):
+        # '%word%' queries have no left anchor and always fall back; the
+        # paper's anchored query class is a regex whose literal prefix
+        # starts with a dictionary word.
+        pattern = r"REGEX:Public Law (8|9)\d"
+        with StaccatoDB(live.service.path, k=K, m=M) as db:
+            db.build_index(["public", "law", "congress", "president"])
+            expected = db.indexed_search(pattern, num_ans=20)
+            assert db.index_covers(pattern, "staccato")
+        live.service.pool.reload_index()
+        status, body = post_json(
+            live.base_url,
+            "/search",
+            {"pattern": pattern, "plan": "indexed", "num_ans": 20},
+        )
+        assert status == 200 and body["plan"] == "indexed"
+        assert [a["line_id"] for a in body["answers"]] == [
+            e.line_id for e in expected
+        ]
+        for got, want in zip(body["answers"], expected):
+            assert got["probability"] == pytest.approx(want.probability)
+
+    def test_auto_plan_reports_choice(self, live):
+        status, body = post_json(
+            live.base_url,
+            "/search",
+            {"pattern": "%Congress%", "plan": "auto"},
+        )
+        assert status == 200
+        assert body["plan"].startswith("auto:")
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, live):
+        query = {"pattern": "%employment%", "approach": "staccato"}
+        _, hits_before = get_json(live.base_url, "/stats")
+        status, first = post_json(live.base_url, "/search", query)
+        assert status == 200 and first["cached"] is False
+        status, second = post_json(live.base_url, "/search", query)
+        assert status == 200 and second["cached"] is True
+        assert second["answers"] == first["answers"]
+        _, stats = get_json(live.base_url, "/stats")
+        assert (
+            stats["cache"]["hits"] >= hits_before["cache"]["hits"] + 1
+        )
+
+    def test_ingest_invalidates_cache(self, live):
+        query = {"pattern": "%annual%", "approach": "staccato"}
+        _, first = post_json(live.base_url, "/search", query)
+        _, second = post_json(live.base_url, "/search", query)
+        assert second["cached"] is True
+        batch = {
+            "dataset": "extra",
+            "documents": [
+                {
+                    "doc_id": 100,
+                    "lines": ["The President shall submit the annual budget"],
+                }
+            ],
+        }
+        status, reply = post_json(live.base_url, "/ingest", batch)
+        assert status == 200 and reply["ingested_lines"] == 1
+        status, third = post_json(live.base_url, "/search", query)
+        assert status == 200 and third["cached"] is False
+        # The new line is visible to pooled readers post-invalidation.
+        assert any(a["doc_id"] == 100 for a in third["answers"])
+        _, stats = get_json(live.base_url, "/stats")
+        assert stats["cache"]["invalidations"] >= 1
+
+    def test_batches_append_not_collide(self, live):
+        _, health = get_json(live.base_url, "/health")
+        before = health["lines"]
+        batch = {
+            "dataset": "extra2",
+            "documents": [{"doc_id": 200, "lines": ["Public Law 88 amended"]}],
+        }
+        status, reply = post_json(live.base_url, "/ingest", batch)
+        assert status == 200
+        assert reply["total_lines"] == before + 1
+
+
+class TestConcurrency:
+    def test_concurrent_mixed_queries(self, live):
+        patterns = ["%Congress%", "%Law%", "%President%", "%employment%"]
+        with StaccatoDB(live.service.path, k=K, m=M) as db:
+            expected = {
+                p: [a.line_id for a in db.search(p, approach="staccato")]
+                for p in patterns
+            }
+
+        def one(pattern: str):
+            status, body = post_json(
+                live.base_url, "/search", {"pattern": pattern}
+            )
+            return pattern, status, [a["line_id"] for a in body["answers"]]
+
+        with ThreadPoolExecutor(max_workers=8) as workers:
+            results = list(workers.map(one, patterns * 6))
+        for pattern, status, line_ids in results:
+            assert status == 200
+            assert line_ids == expected[pattern]
+
+    def test_load_driver_reports_clean_run(self, live):
+        result = run_search_load(
+            live.base_url,
+            ["%Congress%", "%Law%"],
+            concurrency=4,
+            repeats=3,
+            num_ans=5,
+        )
+        assert result.requests == 6 and result.errors == 0
+        assert result.throughput_rps > 0
+        assert result.latency_p99_ms >= result.latency_p50_ms
+        assert "req/s" in result.summary()
+
+
+class TestErrors:
+    def test_missing_pattern(self, live):
+        status, body = post_json(live.base_url, "/search", {})
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert "pattern" in body["error"]["message"]
+
+    def test_bad_approach(self, live):
+        status, body = post_json(
+            live.base_url, "/search", {"pattern": "%a%", "approach": "nope"}
+        )
+        assert status == 400
+        assert "approach" in body["error"]["message"]
+
+    def test_bad_num_ans(self, live):
+        status, body = post_json(
+            live.base_url, "/search", {"pattern": "%a%", "num_ans": 0}
+        )
+        assert status == 400
+
+    def test_invalid_json_body(self, live):
+        request = urllib.request.Request(
+            live.base_url + "/search",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "bad_json"
+
+    def test_unknown_route(self, live):
+        status, body = get_json(live.base_url, "/nope")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_sql_error_is_structured(self, live):
+        status, body = post_json(
+            live.base_url, "/sql", {"query": "DELETE FROM Claims"}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "sql_error"
+
+    def test_ingest_rejects_empty_documents(self, live):
+        status, body = post_json(
+            live.base_url, "/ingest", {"documents": []}
+        )
+        assert status == 400
+
+    def test_ingest_rejects_duplicate_doc_ids(self, live):
+        status, body = post_json(
+            live.base_url,
+            "/ingest",
+            {
+                "documents": [
+                    {"doc_id": 7, "lines": ["a line"]},
+                    {"doc_id": 7, "lines": ["another"]},
+                ]
+            },
+        )
+        assert status == 400
+        assert "duplicate" in body["error"]["message"]
+
+    def test_errors_counted_in_stats(self, live):
+        post_json(live.base_url, "/search", {})
+        _, stats = get_json(live.base_url, "/stats")
+        assert stats["requests"]["total_errors"] >= 1

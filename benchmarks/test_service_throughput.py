@@ -1,0 +1,51 @@
+"""BENCH: serving throughput, single database vs the shard router.
+
+Not a paper figure -- a repo-scaling metric the ROADMAP asks for: track
+req/s and tail latency of the HTTP serving path across PRs, and show
+what DocId-range sharding (repro.service.shards) does to both.  The
+corpus is small so the run stays cheap; the interesting signal is the
+relative shape (fan-out overhead vs scan parallelism), not absolute
+req/s on CI hardware.
+"""
+
+from __future__ import annotations
+
+from repro.bench.service_load import run_sharded_comparison
+
+
+def test_service_throughput_single_vs_sharded(report):
+    comparison = run_sharded_comparison(
+        num_shards=2,
+        docs=4,
+        lines=3,
+        concurrency=8,
+        repeats=4,
+        k=4,
+        m=6,
+    )
+    report.table(
+        "Service throughput single-db vs 2 shards",
+        ["topology", "req/s", "p50 ms", "p95 ms", "p99 ms", "errors"],
+        [
+            [
+                "single-db",
+                f"{comparison.single.throughput_rps:.1f}",
+                f"{comparison.single.latency_p50_ms:.1f}",
+                f"{comparison.single.latency_p95_ms:.1f}",
+                f"{comparison.single.latency_p99_ms:.1f}",
+                comparison.single.errors,
+            ],
+            [
+                "2-shard",
+                f"{comparison.sharded.throughput_rps:.1f}",
+                f"{comparison.sharded.latency_p50_ms:.1f}",
+                f"{comparison.sharded.latency_p95_ms:.1f}",
+                f"{comparison.sharded.latency_p99_ms:.1f}",
+                comparison.sharded.errors,
+            ],
+        ],
+    )
+    assert comparison.single.errors == 0
+    assert comparison.sharded.errors == 0
+    assert comparison.single.throughput_rps > 0
+    assert comparison.sharded.throughput_rps > 0

@@ -1,26 +1,55 @@
 """Service quickstart: the query service end to end, over HTTP.
 
-Mirrors examples/quickstart.py for the serving path: start the
-StaccatoDB query service on an ephemeral port, batch-ingest a small
-Congress Acts corpus through ``POST /ingest``, then ask the paper's
-style of questions over the wire -- a LIKE query via ``POST /search``
-(twice, to show the result cache) and a probabilistic SELECT via
-``POST /sql`` -- and read the service counters from ``GET /stats``.
+Mirrors examples/quickstart.py for the serving path, in two acts:
+
+1. **Single database** -- start the StaccatoDB query service on an
+   ephemeral port, batch-ingest a small Congress Acts corpus through
+   ``POST /ingest``, build the dictionary index over the wire with
+   ``POST /index``, then ask the paper's style of questions -- a LIKE
+   query via ``POST /search`` (twice, to show the result cache), an
+   indexed regex query, and a probabilistic SELECT via ``POST /sql`` --
+   and read the service counters from ``GET /stats``.
+2. **Sharded** -- the same corpus into a 2-shard service
+   (:mod:`repro.service.shards`): ``/ingest`` routes each document to
+   its owning shard, ``/search`` fans out and merges the ranking
+   (answers carry their source shard), and a shard-scoped query hits
+   only one shard.
+
+Every response is checked; any HTTP error exits non-zero, so CI can run
+this file as a smoke test of the README quickstart.
 
 Run:  PYTHONPATH=src python examples/service_client.py
 """
 
+import sys
 import tempfile
 
 from repro.bench.report import format_table
 from repro.bench.service_load import get_json, post_json
 from repro.ocr.corpus import make_ca
-from repro.service import start_service
+from repro.service import start_service, start_sharded_service
 
 
-def main() -> None:
-    corpus = make_ca(num_docs=3, lines_per_doc=6, seed=7)
-    batch = {
+class ServiceError(RuntimeError):
+    """An endpoint answered with an error status."""
+
+
+def checked_post(base_url: str, path: str, payload: dict) -> dict:
+    status, reply = post_json(base_url, path, payload)
+    if status != 200:
+        raise ServiceError(f"POST {path} -> {status}: {reply}")
+    return reply
+
+
+def checked_get(base_url: str, path: str) -> dict:
+    status, reply = get_json(base_url, path)
+    if status != 200:
+        raise ServiceError(f"GET {path} -> {status}: {reply}")
+    return reply
+
+
+def batch_payload(corpus) -> dict:
+    return {
         "dataset": corpus.name,
         "documents": [
             {
@@ -35,57 +64,134 @@ def main() -> None:
         "ocr_seed": 0,
     }
 
-    with tempfile.TemporaryDirectory() as tmp:
-        running = start_service(f"{tmp}/ca.db", k=6, m=10, pool_size=2)
-        try:
-            print(f"service up at {running.base_url}")
-            status, health = get_json(running.base_url, "/health")
-            print(f"GET /health -> {status} {health['status']}, "
-                  f"{health['lines']} lines stored\n")
 
-            status, reply = post_json(running.base_url, "/ingest", batch)
-            print(f"POST /ingest -> {status}: {reply['ingested_lines']} lines "
-                  f"from corpus {reply['dataset']!r} "
-                  f"in {reply['elapsed_s']:.1f}s\n")
+def answer_table(answers) -> str:
+    rows = [
+        [a["line_id"], a["doc_id"], a["line_no"], f"{a['probability']:.6f}"]
+        + ([a["shard"]] if "shard" in a else [])
+        for a in answers
+    ]
+    headers = ["line", "doc", "line_no", "probability"]
+    if answers and "shard" in answers[0]:
+        headers.append("shard")
+    return format_table(headers, rows)
 
-            query = {"pattern": "%President%", "approach": "staccato",
-                     "num_ans": 5}
-            status, reply = post_json(running.base_url, "/search", query)
-            print(f"POST /search {query['pattern']!r} -> {status}, "
-                  f"{reply['count']} answers "
-                  f"(plan={reply['plan']}, cached={reply['cached']}):")
-            rows = [
-                [a["line_id"], a["doc_id"], a["line_no"],
-                 f"{a['probability']:.6f}"]
-                for a in reply["answers"]
-            ]
-            print(format_table(["line", "doc", "line_no", "probability"], rows))
 
-            status, again = post_json(running.base_url, "/search", query)
-            print(f"\nsame query again -> cached={again['cached']} "
-                  "(served from the LRU result cache)\n")
+def single_database_demo(tmp: str, corpus) -> None:
+    running = start_service(f"{tmp}/ca.db", k=6, m=10, pool_size=2)
+    try:
+        print(f"single-db service up at {running.base_url}")
+        health = checked_get(running.base_url, "/health")
+        print(f"GET /health -> {health['status']}, "
+              f"{health['lines']} lines stored\n")
 
-            sql = ("SELECT DocId, Loss FROM Claims "
-                   "WHERE DocData LIKE '%Congress%'")
-            status, reply = post_json(
-                running.base_url, "/sql", {"query": sql, "num_ans": 5}
-            )
-            print(f"POST /sql -> {status}, {reply['count']} documents:")
-            rows = [
-                [r["DocId"], r["Loss"], f"{r['Probability']:.6f}"]
-                for r in reply["rows"]
-            ]
-            print(format_table(["DocId", "Loss", "Probability"], rows))
+        reply = checked_post(running.base_url, "/ingest", batch_payload(corpus))
+        print(f"POST /ingest -> {reply['ingested_lines']} lines "
+              f"from corpus {reply['dataset']!r} "
+              f"in {reply['elapsed_s']:.1f}s\n")
 
-            status, stats = get_json(running.base_url, "/stats")
-            cache = stats["cache"]
-            print(f"\nGET /stats -> {stats['requests']['total']} requests, "
-                  f"cache hits={cache['hits']} misses={cache['misses']} "
-                  f"(hit rate {cache['hit_rate']:.0%})")
-        finally:
-            running.stop()
-    print("service stopped")
+        reply = checked_post(
+            running.base_url,
+            "/index",
+            {"terms": ["public", "law", "congress", "president"]},
+        )
+        print(f"POST /index -> {reply['postings']} postings over "
+              f"{reply['terms']} terms (pool reloaded: {reply['reloaded']})\n")
+
+        query = {"pattern": "%President%", "approach": "staccato", "num_ans": 5}
+        reply = checked_post(running.base_url, "/search", query)
+        print(f"POST /search {query['pattern']!r} -> {reply['count']} answers "
+              f"(plan={reply['plan']}, cached={reply['cached']}):")
+        print(answer_table(reply["answers"]))
+
+        again = checked_post(running.base_url, "/search", query)
+        print(f"\nsame query again -> cached={again['cached']} "
+              "(served from the LRU result cache)\n")
+
+        indexed = {"pattern": r"REGEX:Public Law (8|9)\d", "plan": "indexed",
+                   "num_ans": 5}
+        reply = checked_post(running.base_url, "/search", indexed)
+        print(f"POST /search {indexed['pattern']!r} -> plan={reply['plan']}, "
+              f"{reply['count']} answers\n")
+
+        sql = ("SELECT DocId, Loss FROM Claims "
+               "WHERE DocData LIKE '%Congress%'")
+        reply = checked_post(
+            running.base_url, "/sql", {"query": sql, "num_ans": 5}
+        )
+        print(f"POST /sql -> {reply['count']} documents:")
+        rows = [
+            [r["DocId"], r["Loss"], f"{r['Probability']:.6f}"]
+            for r in reply["rows"]
+        ]
+        print(format_table(["DocId", "Loss", "Probability"], rows))
+
+        stats = checked_get(running.base_url, "/stats")
+        cache = stats["cache"]
+        print(f"\nGET /stats -> {stats['requests']['total']} requests, "
+              f"cache hits={cache['hits']} misses={cache['misses']} "
+              f"(hit rate {cache['hit_rate']:.0%})")
+    finally:
+        running.stop()
+    print("single-db service stopped\n")
+
+
+def sharded_demo(tmp: str, corpus) -> None:
+    # range_width=2 so this tiny corpus's DocIds stripe over both shards.
+    running = start_sharded_service(
+        f"{tmp}/shards", num_shards=2, k=6, m=10, pool_size=2, range_width=2
+    )
+    try:
+        print(f"2-shard service up at {running.base_url}")
+        reply = checked_post(running.base_url, "/ingest", batch_payload(corpus))
+        routed = ", ".join(
+            f"shard {index}: {entry['ingested_lines']} lines"
+            for index, entry in sorted(reply["shards"].items())
+        )
+        print(f"POST /ingest -> routed by DocId range ({routed})\n")
+
+        reply = checked_post(
+            running.base_url,
+            "/index",
+            {"terms": ["public", "law", "congress", "president"]},
+        )
+        print(f"POST /index -> per-shard rebuild: "
+              + ", ".join(f"shard {i}: {s['postings']} postings"
+                          for i, s in sorted(reply["shards"].items()))
+              + "\n")
+
+        query = {"pattern": "%President%", "approach": "staccato", "num_ans": 5}
+        reply = checked_post(running.base_url, "/search", query)
+        print(f"POST /search {query['pattern']!r} -> {reply['count']} answers "
+              f"merged across shards {reply['shards']} "
+              f"(plans={reply['plans']}):")
+        print(answer_table(reply["answers"]))
+
+        scoped = {**query, "shards": [0]}
+        reply = checked_post(running.base_url, "/search", scoped)
+        print(f"\nsame query scoped to shard 0 -> {reply['count']} answers "
+              f"from shards {reply['shards']}\n")
+
+        health = checked_get(running.base_url, "/health")
+        print(f"GET /health -> {health['status']}, "
+              f"{health['lines']} total lines across "
+              f"{health['num_shards']} shards {health['shard_lines']}")
+    finally:
+        running.stop()
+    print("sharded service stopped")
+
+
+def main() -> int:
+    corpus = make_ca(num_docs=3, lines_per_doc=6, seed=7)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            single_database_demo(tmp, corpus)
+            sharded_demo(tmp, corpus)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail CI when README.md / docs/*.md contain broken relative links.
+
+Checks every markdown link and image target in the repo's documentation
+set.  External URLs (any scheme) and pure in-page anchors are skipped;
+relative targets must resolve to an existing file or directory from the
+linking file's location.  Exits 1 listing every broken link.
+
+Run:  python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced and inline code spans (their parens are not links)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    broken = []
+    for target in LINK.findall(strip_code(path.read_text())):
+        if SCHEME.match(target) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
+            )
+    return broken
+
+
+def main() -> int:
+    files = doc_files()
+    broken = [problem for path in files for problem in check_file(path)]
+    for problem in broken:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files: "
+        f"{'OK' if not broken else f'{len(broken)} broken links'}"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

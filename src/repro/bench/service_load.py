@@ -20,22 +20,43 @@ Typical use (a BENCH run or :mod:`tests.test_service`)::
 Because the service caches repeated queries, ``repeats > 1`` measures
 the cache-hit fast path; pass distinct patterns (or ``repeats=1``) to
 measure cold evaluation throughput.
+
+The module also has a *sharded mode*: :func:`run_sharded_comparison`
+seeds the same corpus into a single-database service and an N-shard
+service, drives both with the same load, and reports the two
+throughput/latency profiles side by side.  ``python -m
+repro.bench.service_load`` runs it from the command line and writes the
+report under ``benchmarks/reports/``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import pathlib
+import tempfile
 import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..service.metrics import percentile
 
-__all__ = ["LoadResult", "post_json", "get_json", "run_search_load"]
+__all__ = [
+    "LoadResult",
+    "ShardedComparison",
+    "post_json",
+    "get_json",
+    "run_search_load",
+    "run_sharded_comparison",
+    "main",
+]
 
 DEFAULT_TIMEOUT = 60.0
+
+DEFAULT_PATTERNS = ["%Congress%", "%Law%", "%President%", "%employment%"]
 
 
 def post_json(
@@ -134,3 +155,169 @@ def run_search_load(
         latency_p95_ms=percentile(latencies, 95),
         latency_p99_ms=percentile(latencies, 99),
     )
+
+
+# ----------------------------------------------------------------------
+# Sharded mode: the same corpus and load against one database vs N
+# shards, so the fan-out/merge overhead and the scan parallelism are
+# visible in one report.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ShardedComparison:
+    """Single-database vs sharded profiles of one identical load."""
+
+    num_shards: int
+    corpus_lines: int
+    single: LoadResult
+    sharded: LoadResult
+
+    def report(self) -> str:
+        """A small fixed-width table, one row per serving topology."""
+        headers = ["topology", "req/s", "p50 ms", "p95 ms", "p99 ms", "errors"]
+        rows = [
+            ["single-db", self.single], [f"{self.num_shards}-shard", self.sharded]
+        ]
+        lines = ["  ".join(f"{h:>10s}" for h in headers)]
+        for name, result in rows:
+            lines.append(
+                "  ".join(
+                    f"{cell:>10}"
+                    for cell in (
+                        name,
+                        f"{result.throughput_rps:.1f}",
+                        f"{result.latency_p50_ms:.1f}",
+                        f"{result.latency_p95_ms:.1f}",
+                        f"{result.latency_p99_ms:.1f}",
+                        str(result.errors),
+                    )
+                )
+            )
+        return "\n".join(lines)
+
+
+def _ingest_over_http(base_url: str, corpus) -> None:
+    batch = {
+        "dataset": corpus.name,
+        "documents": [
+            {
+                "doc_id": doc.doc_id,
+                "name": doc.name,
+                "year": doc.year,
+                "loss": doc.loss,
+                "lines": list(doc.lines),
+            }
+            for doc in corpus.documents
+        ],
+        "ocr_seed": 0,
+    }
+    status, reply = post_json(base_url, "/ingest", batch)
+    if status != 200:
+        raise RuntimeError(f"seeding ingest failed: {reply}")
+
+
+def run_sharded_comparison(
+    num_shards: int = 2,
+    docs: int = 4,
+    lines: int = 3,
+    patterns: Sequence[str] = tuple(DEFAULT_PATTERNS),
+    approach: str = "staccato",
+    concurrency: int = 8,
+    repeats: int = 5,
+    num_ans: int = 10,
+    k: int = 4,
+    m: int = 6,
+    range_width: int = 1,
+) -> ShardedComparison:
+    """Seed and drive a single-db and an N-shard service identically.
+
+    ``range_width=1`` stripes the corpus's consecutive DocIds across
+    every shard, so the sharded topology really measures partitioned
+    data (the library default of 64 would park a small corpus entirely
+    on shard 0).
+    """
+    from ..ocr.corpus import make_ca
+    from ..service import start_service, start_sharded_service
+
+    corpus = make_ca(num_docs=docs, lines_per_doc=lines, seed=1)
+    load_kwargs = dict(
+        approach=approach,
+        num_ans=num_ans,
+        concurrency=concurrency,
+        repeats=repeats,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        single = start_service(f"{tmp}/single.db", k=k, m=m, pool_size=4)
+        try:
+            _ingest_over_http(single.base_url, corpus)
+            single_result = run_search_load(
+                single.base_url, list(patterns), **load_kwargs
+            )
+        finally:
+            single.stop()
+        sharded = start_sharded_service(
+            f"{tmp}/shards",
+            num_shards,
+            k=k,
+            m=m,
+            pool_size=2,
+            range_width=range_width,
+        )
+        try:
+            _ingest_over_http(sharded.base_url, corpus)
+            sharded_result = run_search_load(
+                sharded.base_url, list(patterns), **load_kwargs
+            )
+        finally:
+            sharded.stop()
+    return ShardedComparison(
+        num_shards=num_shards,
+        corpus_lines=corpus.num_lines,
+        single=single_result,
+        sharded=sharded_result,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI for the sharded service-throughput report."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.service_load",
+        description="single-db vs sharded service throughput",
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--docs", type=int, default=4)
+    parser.add_argument("--lines", type=int, default=3)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--m", type=int, default=6)
+    parser.add_argument(
+        "--out",
+        default="benchmarks/reports/service_throughput.txt",
+        help="report path ('-' prints only)",
+    )
+    args = parser.parse_args(argv)
+    comparison = run_sharded_comparison(
+        num_shards=args.shards,
+        docs=args.docs,
+        lines=args.lines,
+        concurrency=args.concurrency,
+        repeats=args.repeats,
+        k=args.k,
+        m=args.m,
+    )
+    title = (
+        f"service throughput: {comparison.corpus_lines}-line corpus, "
+        f"single-db vs {comparison.num_shards} shards"
+    )
+    text = f"{title}\n{comparison.report()}\n"
+    print(text, end="")
+    if args.out != "-":
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"report written to {out}")
+    return 1 if (comparison.single.errors or comparison.sharded.errors) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,15 +15,20 @@ Examples::
     python -m repro index --db /tmp/ca.db --terms public law congress
     python -m repro tune --corpus ca --size-fraction 0.1 --recall 0.9
     python -m repro serve --db /tmp/ca.db --port 8080
+    python -m repro serve --shards 4 --shard-dir /tmp/shards --port 8080
 
 ``serve`` starts the concurrent query service of :mod:`repro.service`:
 a threaded JSON-over-HTTP server exposing ``POST /ingest`` (atomic
 batch ingestion), ``POST /search`` (LIKE/regex, filescan/indexed/auto
-plans), ``POST /sql`` (the probabilistic SELECT surface), ``GET
-/stats`` (request metrics, cache and pool counters) and ``GET
-/health`` -- backed by a reader connection pool and an LRU query-result
-cache that ingestion invalidates.  The installed console script
-``staccato`` is an alias for this module's ``main``.
+plans), ``POST /sql`` (the probabilistic SELECT surface), ``POST
+/index`` (dictionary-index rebuild plus pool broadcast), ``GET /stats``
+(request metrics, cache and pool counters) and ``GET /health`` --
+backed by a reader connection pool and an LRU query-result cache that
+ingestion invalidates.  With ``--shards N --shard-dir DIR`` the same
+API is served by the shard router of :mod:`repro.service.shards`:
+documents partition across N StaccatoDB files by DocId range, queries
+fan out and merge.  The installed console script ``staccato`` is an
+alias for this module's ``main``.
 """
 
 from __future__ import annotations
@@ -155,11 +160,20 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve_forever
 
+    if args.shards > 0 and not args.shard_dir:
+        print("error: --shards needs --shard-dir", file=sys.stderr)
+        return 2
+    if args.shards <= 0 and not args.db:
+        print("error: serve needs --db (or --shards/--shard-dir)",
+              file=sys.stderr)
+        return 2
     serve_forever(
         args.db,
         host=args.host,
         port=args.port,
         verbose=not args.quiet,
+        shards=args.shards,
+        shard_dir=args.shard_dir,
         k=args.k,
         m=args.m,
         pool_size=args.pool_size,
@@ -235,9 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
     tune.set_defaults(func=_cmd_tune)
 
     serve = sub.add_parser(
-        "serve", help="serve the database over a JSON HTTP API"
+        "serve", help="serve one database (or a shard set) over a JSON HTTP API"
     )
-    serve.add_argument("--db", required=True, help="SQLite database path")
+    serve.add_argument("--db", default=None, help="SQLite database path")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve N StaccatoDB shards instead of one --db")
+    serve.add_argument("--shard-dir", default=None,
+                       help="directory holding the shard-NNNN.db files")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 picks a free one)")

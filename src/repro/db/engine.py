@@ -18,6 +18,9 @@ projected window).  Both return the ranked probabilistic relation of
 
 from __future__ import annotations
 
+import glob
+import os
+import re
 import sqlite3
 from typing import Iterable
 
@@ -35,9 +38,44 @@ from ..query.like import compile_like
 from . import storage
 from .schema import create_schema
 
-__all__ = ["StaccatoDB", "APPROACHES"]
+__all__ = [
+    "StaccatoDB",
+    "APPROACHES",
+    "shard_path",
+    "shard_paths",
+    "discover_shard_paths",
+]
 
 APPROACHES = ("map", "kmap", "fullsfa", "staccato")
+
+#: File-name pattern of one shard inside a shard directory.
+SHARD_FILE_FORMAT = "shard-{index:04d}.db"
+_SHARD_FILE_RE = re.compile(r"^shard-(\d{4})\.db$")
+_ALIAS_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+
+
+def shard_path(shard_dir: str, index: int) -> str:
+    """The canonical file path of shard ``index`` under ``shard_dir``."""
+    if index < 0:
+        raise ValueError("shard index must be >= 0")
+    return os.path.join(shard_dir, SHARD_FILE_FORMAT.format(index=index))
+
+
+def shard_paths(shard_dir: str, num_shards: int) -> list[str]:
+    """Canonical paths of an N-shard layout (files need not exist yet)."""
+    if num_shards < 1:
+        raise ValueError("a sharded layout needs at least one shard")
+    return [shard_path(shard_dir, i) for i in range(num_shards)]
+
+
+def discover_shard_paths(shard_dir: str) -> list[str]:
+    """Existing shard files under ``shard_dir``, in shard-index order."""
+    found = []
+    for path in glob.glob(os.path.join(shard_dir, "shard-*.db")):
+        if _SHARD_FILE_RE.match(os.path.basename(path)):
+            found.append(path)
+    return sorted(found)
+
 
 #: Default BFS depth for projected evaluation: matches can span at most a
 #: few chunks beyond the anchor in the workloads we reproduce.
@@ -76,6 +114,23 @@ class StaccatoDB:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    def attach(self, path: str, alias: str) -> None:
+        """ATTACH another StaccatoDB file (e.g. a sibling shard) as ``alias``.
+
+        Cross-shard inspection can then address its tables as
+        ``alias.MasterData`` etc. from this connection.
+        """
+        if not _ALIAS_RE.match(alias):
+            raise ValueError(f"bad attach alias {alias!r}")
+        self.conn.execute(f"ATTACH DATABASE ? AS {alias}", (path,))
+
+    def detach(self, alias: str) -> None:
+        """Undo :meth:`attach`."""
+        if not _ALIAS_RE.match(alias):
+            raise ValueError(f"bad attach alias {alias!r}")
+        self.conn.execute(f"DETACH DATABASE {alias}")
 
     # ------------------------------------------------------------------
     def ingest(

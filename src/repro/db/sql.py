@@ -30,9 +30,23 @@ from dataclasses import dataclass, field
 
 from .engine import StaccatoDB
 
-__all__ = ["SqlError", "ParsedSelect", "parse_select", "execute_select"]
+__all__ = [
+    "SqlError",
+    "ParsedSelect",
+    "parse_select",
+    "execute_select",
+    "shard_select",
+    "merge_shard_rows",
+]
 
 DOC_COLUMNS = {"docid", "docname", "year", "loss"}
+#: Canonical spellings of the scalar document columns, keyed lowercase.
+CANONICAL_COLUMNS = {
+    "docid": "DocId",
+    "docname": "DocName",
+    "year": "Year",
+    "loss": "Loss",
+}
 OCR_COLUMN = "docdata"
 _COMPARATORS = {"=", "<>", "!=", "<", "<=", ">", ">="}
 
@@ -242,14 +256,19 @@ def execute_select(
     sql: str,
     approach: str = "staccato",
     num_ans: int | None = 100,
+    parsed: ParsedSelect | None = None,
 ) -> list[dict[str, object]]:
     """Run a select-project query, returning a probabilistic relation.
 
     Rows are per *document* (as in the Figure 1(C) claims query): the
     projected columns plus ``Probability``, sorted by descending
-    probability.
+    probability.  ``parsed`` overrides the parse of ``sql`` -- the shard
+    router passes the widened per-shard plan of :func:`shard_select`
+    here so every shard evaluates the same predicates but returns the
+    mergeable full relation.
     """
-    parsed = parse_select(sql)
+    if parsed is None:
+        parsed = parse_select(sql)
     where = " AND ".join(
         f"{col} {'!=' if op == '<>' else op} ?"
         for col, op, _ in parsed.scalar_predicates
@@ -266,7 +285,9 @@ def execute_select(
         if parsed.is_aggregate:
             return [
                 {
-                    "COUNT(*)" if func == "count" else f"{func.upper()}({arg})": 0.0
+                    "COUNT(*)"
+                    if func == "count"
+                    else f"{func.upper()}({CANONICAL_COLUMNS[arg.lower()]})": 0.0
                     for func, arg in parsed.aggregates
                 }
             ]
@@ -351,6 +372,124 @@ def execute_select(
             key=lambda item: (-float(item[1]["Probability"]), item[0])
         )
     rows_out = [out for _, out in projected]
+    if parsed.limit is not None:
+        rows_out = rows_out[: parsed.limit]
+    if num_ans is not None:
+        rows_out = rows_out[:num_ans]
+    return rows_out
+
+
+# ----------------------------------------------------------------------
+# Sharded execution: each shard holds a disjoint set of documents, so a
+# select-project query distributes as "run everywhere, merge".  The
+# per-shard plan must return enough to merge losslessly: the full scalar
+# row (the ORDER BY column may not be projected) with no LIMIT/NumAns
+# cutoff, and for aggregates the *base* expectations (COUNT/SUM) that
+# AVG is a ratio of -- per-shard averages do not combine.
+# ----------------------------------------------------------------------
+def shard_select(parsed: ParsedSelect) -> ParsedSelect:
+    """The widened plan one shard runs so the router can merge exactly."""
+    if parsed.is_aggregate:
+        base: list[tuple[str, str]] = []
+        for func, argument in parsed.aggregates:
+            if func == "avg":
+                needed = [("count", "*"), ("sum", argument)]
+            else:
+                needed = [(func, argument)]
+            for agg in needed:
+                if agg not in base:
+                    base.append(agg)
+        aggregates, columns = base, []
+    else:
+        aggregates, columns = [], ["*"]
+    return ParsedSelect(
+        columns=columns,
+        table=parsed.table,
+        scalar_predicates=list(parsed.scalar_predicates),
+        like_patterns=list(parsed.like_patterns),
+        aggregates=aggregates,
+        order_by=None,
+        limit=None,
+    )
+
+
+def _aggregate_key(func: str, argument: str) -> str:
+    if func == "count":
+        return "COUNT(*)"
+    return f"{func.upper()}({CANONICAL_COLUMNS[argument.lower()]})"
+
+
+def merge_shard_rows(
+    parsed: ParsedSelect,
+    shard_rows: list[list[dict[str, object]]],
+    num_ans: int | None = 100,
+) -> list[dict[str, object]]:
+    """Merge per-shard :func:`shard_select` relations into the final one.
+
+    Documents are disjoint across shards, so expected aggregates add by
+    linearity and row merging is a concatenate-sort-project.  The result
+    matches ``execute_select`` over one database holding the union,
+    provided documents were ingested in DocId order there (the single
+    database breaks scalar ORDER BY ties by insertion order; the merge
+    breaks them by DocId).
+    """
+    if parsed.is_aggregate:
+        totals: dict[str, float] = {}
+        for rows in shard_rows:
+            if not rows:
+                continue
+            (row,) = rows
+            for key, value in row.items():
+                totals[key] = totals.get(key, 0.0) + float(value)  # type: ignore[arg-type]
+        result: dict[str, object] = {}
+        expected_count = totals.get("COUNT(*)", 0.0)
+        for func, argument in parsed.aggregates:
+            if func == "count":
+                result["COUNT(*)"] = expected_count
+            elif func == "sum":
+                result[_aggregate_key(func, argument)] = totals.get(
+                    _aggregate_key("sum", argument), 0.0
+                )
+            else:
+                expected_sum = totals.get(_aggregate_key("sum", argument), 0.0)
+                result[_aggregate_key("avg", argument)] = (
+                    expected_sum / expected_count if expected_count else 0.0
+                )
+        return [result]
+
+    merged = [dict(row) for rows in shard_rows for row in rows]
+    merged.sort(key=lambda row: row["DocId"])  # type: ignore[arg-type, return-value]
+    if parsed.order_by is not None:
+        column, descending = parsed.order_by
+        if column.lower() == "probability":
+            merged.sort(
+                key=lambda row: row["Probability"],  # type: ignore[arg-type, return-value]
+                reverse=descending,
+            )
+        else:
+            actual = CANONICAL_COLUMNS[column.lower()]
+            merged.sort(
+                key=lambda row: row[actual],  # type: ignore[arg-type, return-value]
+                reverse=descending,
+            )
+    else:
+        merged.sort(
+            key=lambda row: (-float(row["Probability"]), row["DocId"])  # type: ignore[arg-type, return-value]
+        )
+
+    rows_out: list[dict[str, object]] = []
+    for row in merged:
+        if parsed.columns == ["*"]:
+            out = dict(row)
+        else:
+            out = {}
+            for col in parsed.columns:
+                actual = CANONICAL_COLUMNS.get(col.lower())
+                if actual is None or actual not in row:
+                    raise SqlError(f"unknown projection column {col!r}")
+                out[actual] = row[actual]
+            out["Probability"] = row["Probability"]
+        rows_out.append(out)
     if parsed.limit is not None:
         rows_out = rows_out[: parsed.limit]
     if num_ans is not None:

@@ -4,14 +4,17 @@ The paper stores OCR transducer approximations in an RDBMS so
 applications can query them like any other relation; this subsystem is
 the serving tier that promise implies -- a stdlib-only threaded HTTP
 server (no dependencies beyond ``http.server``) in front of one
-StaccatoDB file.  Start it with::
+StaccatoDB file, or a shard router over many (see
+:mod:`repro.service.shards`).  Start it with::
 
     python -m repro serve --db /tmp/ca.db --port 8080
+    python -m repro serve --shards 4 --shard-dir /tmp/shards --port 8080
 
 or in-process (tests, examples)::
 
-    from repro.service import start_service
+    from repro.service import start_service, start_sharded_service
     running = start_service("/tmp/ca.db", port=0)   # ephemeral port
+    cluster = start_sharded_service("/tmp/shards", num_shards=2, port=0)
     ...
     running.stop()
 
@@ -46,6 +49,16 @@ HTTP API (all bodies and responses are JSON):
     ``{"query": "SELECT DocId, Loss FROM Claims WHERE DocData LIKE
     '%Ford%'", "approach": "staccato", "num_ans": 100}``.
 
+``POST /index``
+    Build/rebuild the dictionary inverted index over HTTP and broadcast
+    ``load_index`` to the reader pool(s).  Body: ``{"terms": ["public",
+    "law", ...], "approach": "staccato"}``.
+
+On a sharded service (``serve --shards N``) ``/search``/``/sql`` fan
+out over all shards (or a ``"shards": [0, 2]`` scope) and merge the
+ranked relations; ``/ingest`` routes documents to their owning shard by
+DocId range.  See :mod:`repro.service.shards` and ``docs/API.md``.
+
 Errors come back as ``{"error": {"code": ..., "message": ...}}`` with
 a 4xx/5xx status.
 
@@ -63,11 +76,21 @@ from .app import QueryService
 from .cache import QueryCache
 from .metrics import ServiceMetrics
 from .pool import ConnectionPool, PoolClosed
-from .server import RunningService, build_server, serve_forever, start_service
+from .server import (
+    RunningService,
+    build_server,
+    serve_forever,
+    start_service,
+    start_sharded_service,
+)
+from .shards import ShardedPool, ShardedQueryService, shard_for_doc
 from .validation import ApiError
 
 __all__ = [
     "QueryService",
+    "ShardedQueryService",
+    "ShardedPool",
+    "shard_for_doc",
     "QueryCache",
     "ServiceMetrics",
     "ConnectionPool",
@@ -77,4 +100,5 @@ __all__ = [
     "build_server",
     "serve_forever",
     "start_service",
+    "start_sharded_service",
 ]

@@ -30,21 +30,72 @@ from .metrics import ServiceMetrics
 from .pool import ConnectionPool
 from .validation import (
     ApiError,
+    SearchRequest,
+    validate_index,
     validate_ingest,
     validate_search,
     validate_sql,
 )
 
-__all__ = ["QueryService"]
+__all__ = ["QueryService", "run_search_plan", "answer_row"]
 
 
-def _answer_row(answer: Answer) -> dict[str, object]:
+def answer_row(answer: Answer) -> dict[str, object]:
+    """One :class:`Answer` as the JSON row the API returns."""
     return {
         "line_id": answer.line_id,
         "doc_id": answer.doc_id,
         "line_no": answer.line_no,
         "probability": answer.probability,
     }
+
+
+def run_search_plan(
+    db: StaccatoDB, request: SearchRequest
+) -> tuple[str, list[Answer]]:
+    """Execute one search request's plan against one database.
+
+    Shared by the single-database service and every shard leg of the
+    sharded service; returns the plan label actually used plus the
+    ranked answers.
+    """
+    if request.plan == "auto":
+        plan, answers = execute_plan(
+            db,
+            request.pattern,
+            approach=request.approach,
+            num_ans=request.num_ans,
+        )
+        return f"auto:{plan.kind}", answers
+    if request.plan == "indexed":
+        answers = db.indexed_search(
+            request.pattern,
+            approach=request.approach,
+            num_ans=request.num_ans,
+        )
+        label = (
+            "indexed"
+            if db.index_covers(request.pattern, request.approach)
+            else "indexed:filescan-fallback"
+        )
+        return label, answers
+    answers = db.search(
+        request.pattern,
+        approach=request.approach,
+        num_ans=request.num_ans,
+    )
+    return "filescan", answers
+
+
+def reject_shard_scope(shards: tuple[int, ...] | None) -> None:
+    """Single-database services cannot honour a ``shards`` scope."""
+    if shards is not None:
+        raise ApiError(
+            400,
+            "this service is not sharded; remove the 'shards' field "
+            "or query a service started with --shards",
+            code="not_sharded",
+        )
 
 
 class QueryService:
@@ -120,6 +171,7 @@ class QueryService:
     def search(self, payload: object) -> dict[str, object]:
         """LIKE/regex search, served from cache when possible."""
         request = validate_search(payload)
+        reject_shard_scope(request.shards)
         key = (
             "search",
             self.path,
@@ -134,38 +186,13 @@ class QueryService:
         generation = self.cache.generation
         started = time.perf_counter()
         with self.pool.acquire() as db:
-            if request.plan == "auto":
-                plan, answers = execute_plan(
-                    db,
-                    request.pattern,
-                    approach=request.approach,
-                    num_ans=request.num_ans,
-                )
-                plan_label = f"auto:{plan.kind}"
-            elif request.plan == "indexed":
-                answers = db.indexed_search(
-                    request.pattern,
-                    approach=request.approach,
-                    num_ans=request.num_ans,
-                )
-                plan_label = (
-                    "indexed"
-                    if db.index_covers(request.pattern, request.approach)
-                    else "indexed:filescan-fallback"
-                )
-            else:
-                answers = db.search(
-                    request.pattern,
-                    approach=request.approach,
-                    num_ans=request.num_ans,
-                )
-                plan_label = "filescan"
+            plan_label, answers = run_search_plan(db, request)
         result = {
             "pattern": request.pattern,
             "approach": request.approach,
             "plan": plan_label,
             "count": len(answers),
-            "answers": [_answer_row(a) for a in answers],
+            "answers": [answer_row(a) for a in answers],
             "elapsed_s": time.perf_counter() - started,
         }
         self.cache.put(key, result, generation=generation)
@@ -175,6 +202,7 @@ class QueryService:
     def sql(self, payload: object) -> dict[str, object]:
         """The probabilistic SELECT surface of :mod:`repro.db.sql`."""
         request = validate_sql(payload)
+        reject_shard_scope(request.shards)
         key = ("sql", self.path, request.query, request.approach, request.num_ans)
         cached = self.cache.get(key)
         if cached is not None:
@@ -200,6 +228,32 @@ class QueryService:
         }
         self.cache.put(key, result, generation=generation)
         return {**result, "cached": False}
+
+    # ------------------------------------------------------------------
+    def index(self, payload: object) -> dict[str, object]:
+        """Build/rebuild the dictionary index and broadcast to the pool.
+
+        The out-of-band CLI step (``python -m repro index``) over HTTP:
+        rebuilds the inverted index on the writer, reloads every pooled
+        reader's anchor trie, and invalidates the cache (indexed plans
+        and plan labels may change under the new index).
+        """
+        request = validate_index(payload)
+        reject_shard_scope(request.shards)
+        started = time.perf_counter()
+        with self._write_lock:
+            postings = self._writer.build_index(
+                request.terms, approach=request.approach
+            )
+        reloaded = self.pool.reload_index(request.approach)
+        self.cache.invalidate()
+        return {
+            "approach": request.approach,
+            "terms": len(request.terms),
+            "postings": postings,
+            "reloaded": reloaded,
+            "elapsed_s": time.perf_counter() - started,
+        }
 
     # ------------------------------------------------------------------
     def health(self) -> dict[str, object]:

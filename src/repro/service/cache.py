@@ -90,6 +90,24 @@ class QueryCache:
             self._generation += 1
             self.invalidations += 1
 
+    def invalidate_where(self, predicate) -> int:
+        """Drop only the entries whose key satisfies ``predicate``.
+
+        The sharded service keys entries with the shard scope they were
+        computed over, so an ingest routed to one shard evicts only the
+        results that depended on it; returns the number dropped.  The
+        global generation is *not* bumped -- untouched entries stay
+        servable -- so callers relying on generation fencing must encode
+        per-shard generations in their keys instead.
+        """
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            if doomed:
+                self.invalidations += 1
+            return len(doomed)
+
     def stats(self) -> dict[str, float | int]:
         """Counter snapshot for the ``/stats`` endpoint."""
         with self._lock:

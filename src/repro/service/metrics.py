@@ -39,6 +39,10 @@ class ServiceMetrics:
         self._counts: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self._latencies: dict[str, deque[float]] = {}
+        # Per-shard sub-request observations, keyed (shard index, endpoint).
+        self._shard_counts: dict[tuple[int, str], int] = {}
+        self._shard_errors: dict[tuple[int, str], int] = {}
+        self._shard_latencies: dict[tuple[int, str], deque[float]] = {}
         self.started_at = time.monotonic()
 
     def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
@@ -52,29 +56,66 @@ class ServiceMetrics:
             )
             ring.append(seconds)
 
+    def observe_shard(
+        self, shard: int, endpoint: str, seconds: float, error: bool = False
+    ) -> None:
+        """Record one shard's leg of a fanned-out request.
+
+        A sharded ``/search`` is one request at the service level but N
+        sub-requests at the storage level; keeping the legs separate lets
+        ``/stats`` expose skew (one hot or slow shard) that the merged
+        endpoint latency hides.
+        """
+        key = (shard, endpoint)
+        with self._lock:
+            self._shard_counts[key] = self._shard_counts.get(key, 0) + 1
+            if error:
+                self._shard_errors[key] = self._shard_errors.get(key, 0) + 1
+            ring = self._shard_latencies.setdefault(
+                key, deque(maxlen=self._window)
+            )
+            ring.append(seconds)
+
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self.started_at
+
+    @staticmethod
+    def _latency_block(samples: list[float]) -> dict[str, float]:
+        millis = [s * 1000.0 for s in samples]
+        return {
+            "mean": sum(millis) / len(millis) if millis else 0.0,
+            "p50": percentile(millis, 50),
+            "p90": percentile(millis, 90),
+            "p99": percentile(millis, 99),
+        }
 
     def snapshot(self) -> dict[str, object]:
         """The ``/stats`` view: totals plus per-endpoint breakdown."""
         with self._lock:
             endpoints: dict[str, object] = {}
             for endpoint, count in sorted(self._counts.items()):
-                samples = list(self._latencies.get(endpoint, ()))
-                millis = [s * 1000.0 for s in samples]
                 endpoints[endpoint] = {
                     "count": count,
                     "errors": self._errors.get(endpoint, 0),
-                    "latency_ms": {
-                        "mean": sum(millis) / len(millis) if millis else 0.0,
-                        "p50": percentile(millis, 50),
-                        "p90": percentile(millis, 90),
-                        "p99": percentile(millis, 99),
-                    },
+                    "latency_ms": self._latency_block(
+                        list(self._latencies.get(endpoint, ()))
+                    ),
                 }
-            return {
+            result: dict[str, object] = {
                 "total": sum(self._counts.values()),
                 "total_errors": sum(self._errors.values()),
                 "endpoints": endpoints,
             }
+            if self._shard_counts:
+                shards: dict[str, dict[str, object]] = {}
+                for (shard, endpoint), count in sorted(self._shard_counts.items()):
+                    shards.setdefault(str(shard), {})[endpoint] = {
+                        "count": count,
+                        "errors": self._shard_errors.get((shard, endpoint), 0),
+                        "latency_ms": self._latency_block(
+                            list(self._shard_latencies.get((shard, endpoint), ()))
+                        ),
+                    }
+                result["shards"] = shards
+            return result

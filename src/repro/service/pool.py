@@ -52,11 +52,14 @@ class ConnectionPool:
         k: int = 25,
         m: int = 40,
         index_approach: str = "staccato",
+        label: str | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self.path = path
         self.size = size
+        #: Display name in ``/stats`` (the shard router labels per shard).
+        self.label = label
         self._entries = [
             _PooledConnection(
                 StaccatoDB(path, k=k, m=m, check_same_thread=False)
@@ -111,23 +114,30 @@ class ConnectionPool:
             self._cond.notify()
 
     # ------------------------------------------------------------------
-    def reload_index(self, approach: str | None = None) -> None:
+    def reload_index(self, approach: str | None = None) -> bool:
         """Refresh every connection's anchor trie (after a rebuild).
 
         The approach recorded in ``IndexMeta`` wins; ``approach`` is only
-        a fallback for databases predating that record."""
+        a fallback for databases predating that record.  Returns whether
+        a persisted index was found (so ``/index`` can confirm the
+        broadcast took)."""
+        found = False
         for entry in self._entries:
             with entry.lock:
-                entry.db.load_index(approach)
+                found = entry.db.load_index(approach) or found
+        return found
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, object]:
         """Pool occupancy snapshot for the ``/stats`` endpoint."""
         with self._cond:
-            return {
+            snapshot: dict[str, object] = {
                 "size": self.size,
                 "in_use": self.size - len(self._free),
                 "checkouts": self.checkouts,
             }
+            if self.label is not None:
+                snapshot["label"] = self.label
+            return snapshot
 
     def close(self) -> None:
         """Close every connection; subsequent acquires raise PoolClosed."""

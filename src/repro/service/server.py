@@ -23,11 +23,13 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .app import QueryService
+from .shards import ShardedQueryService
 from .validation import ApiError
 
 __all__ = [
     "build_server",
     "start_service",
+    "start_sharded_service",
     "serve_forever",
     "RunningService",
 ]
@@ -37,7 +39,12 @@ __all__ = [
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
 GET_ROUTES = {"/health": "health", "/stats": "stats"}
-POST_ROUTES = {"/ingest": "ingest", "/search": "search", "/sql": "sql"}
+POST_ROUTES = {
+    "/ingest": "ingest",
+    "/search": "search",
+    "/sql": "sql",
+    "/index": "index",
+}
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -138,7 +145,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: tuple[str, int],
-        service: QueryService,
+        service: QueryService | ShardedQueryService,
         verbose: bool = False,
     ) -> None:
         super().__init__(address, ServiceRequestHandler)
@@ -147,7 +154,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 
 def build_server(
-    service: QueryService,
+    service: QueryService | ShardedQueryService,
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
@@ -160,7 +167,7 @@ def build_server(
 class RunningService:
     """A service running in a background thread, with clean shutdown."""
 
-    service: QueryService
+    service: QueryService | ShardedQueryService
     server: ServiceHTTPServer
     thread: threading.Thread
 
@@ -187,14 +194,11 @@ class RunningService:
         self.stop()
 
 
-def start_service(
-    db_path: str,
-    host: str = "127.0.0.1",
-    port: int = 0,
-    **service_kwargs,
+def _start_in_thread(
+    service: QueryService | ShardedQueryService,
+    host: str,
+    port: int,
 ) -> RunningService:
-    """Start a query service in a daemon thread; returns its handle."""
-    service = QueryService(db_path, **service_kwargs)
     server = build_server(service, host=host, port=port)
     thread = threading.Thread(
         target=server.serve_forever, name="staccato-service", daemon=True
@@ -203,24 +207,68 @@ def start_service(
     return RunningService(service=service, server=server, thread=thread)
 
 
-def serve_forever(
+def start_service(
     db_path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **service_kwargs,
+) -> RunningService:
+    """Start a query service in a daemon thread; returns its handle."""
+    return _start_in_thread(
+        QueryService(db_path, **service_kwargs), host, port
+    )
+
+
+def start_sharded_service(
+    shard_dir: str,
+    num_shards: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **service_kwargs,
+) -> RunningService:
+    """Start a sharded query service in a daemon thread (tests, examples)."""
+    return _start_in_thread(
+        ShardedQueryService(shard_dir, num_shards, **service_kwargs),
+        host,
+        port,
+    )
+
+
+def serve_forever(
+    db_path: str | None = None,
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = True,
+    shards: int = 0,
+    shard_dir: str | None = None,
     **service_kwargs,
 ) -> None:
-    """Run the service in the foreground until interrupted (CLI path)."""
-    service = QueryService(db_path, **service_kwargs)
+    """Run the service in the foreground until interrupted (CLI path).
+
+    Pass ``db_path`` for the single-database service, or ``shards`` and
+    ``shard_dir`` for the shard router of :mod:`repro.service.shards`.
+    """
+    if shards > 0:
+        if shard_dir is None:
+            raise ValueError("sharded serving needs --shard-dir")
+        service: QueryService | ShardedQueryService = ShardedQueryService(
+            shard_dir, shards, **service_kwargs
+        )
+        target = f"shards={shards} dir={shard_dir}"
+    else:
+        if db_path is None:
+            raise ValueError("serving needs --db (or --shards/--shard-dir)")
+        service = QueryService(db_path, **service_kwargs)
+        target = f"db={db_path}"
     server = build_server(service, host=host, port=port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(
         f"staccato service listening on http://{bound_host}:{bound_port} "
-        f"(db={db_path})"
+        f"({target})"
     )
     print(
         "endpoints: GET /health, GET /stats, "
-        "POST /ingest, POST /search, POST /sql"
+        "POST /ingest, POST /search, POST /sql, POST /index"
     )
     try:
         server.serve_forever()

@@ -1,0 +1,587 @@
+"""Sharded serving: one service routing over many StaccatoDB files.
+
+One SQLite file stops scaling long before an OCR corpus does, so the
+service can run over N shards, each a complete StaccatoDB file holding a
+disjoint subset of the documents:
+
+* **Routing** -- documents are partitioned by DocId range:
+  ``shard_for_doc`` stripes contiguous ranges of ``range_width`` ids
+  across the shards, so a document (and every line of it) lives wholly
+  on one shard and repeated batches for the same document land in the
+  same file.  ``/ingest`` may instead ask for ``"route":
+  "round_robin"`` when placement does not matter.
+* **Fan-out** -- ``/search`` and ``/sql`` execute on every scoped shard
+  concurrently (a :class:`~concurrent.futures.ThreadPoolExecutor` leg
+  per shard, each leg borrowing from that shard's reader pool) and the
+  per-shard ranked relations are merged by probability with stable
+  (DocId, LineNo) tie-breaks -- identical answers and ranking to one
+  database holding the union.
+* **Per-shard invalidation** -- every cache key embeds the shard scope
+  it was computed over plus those shards' generation counters; an
+  ingest or index rebuild bumps only the touched shards' generations
+  and evicts only the entries that depended on them.
+* **``POST /index``** -- builds/rebuilds the dictionary index shard by
+  shard and broadcasts ``load_index`` to that shard's pool, no
+  out-of-band CLI step required.
+
+:class:`ShardedQueryService` duck-types :class:`~repro.service.app.
+QueryService` (same endpoint methods, same metrics registry), so the
+HTTP layer in :mod:`repro.service.server` serves either unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from ..db.engine import StaccatoDB, shard_paths
+from ..db.sql import SqlError, execute_select, merge_shard_rows, parse_select, shard_select
+from ..ocr.corpus import Dataset, Document
+from ..ocr.engine import SimulatedOcrEngine
+from ..query.answers import Answer
+from .app import answer_row, run_search_plan
+from .cache import QueryCache
+from .metrics import ServiceMetrics
+from .pool import ConnectionPool
+from .validation import (
+    ApiError,
+    validate_index,
+    validate_ingest,
+    validate_search,
+    validate_sql,
+)
+
+__all__ = [
+    "DEFAULT_RANGE_WIDTH",
+    "shard_for_doc",
+    "merge_ranked",
+    "ShardedPool",
+    "ShardedQueryService",
+]
+
+#: DocIds per contiguous routing range.  Ranges stripe across shards
+#: (``(doc_id // width) % num_shards``), so bulk loads of consecutive ids
+#: spread out while each document still has exactly one owner.
+DEFAULT_RANGE_WIDTH = 64
+
+
+def shard_for_doc(
+    doc_id: int, num_shards: int, range_width: int = DEFAULT_RANGE_WIDTH
+) -> int:
+    """The shard owning ``doc_id`` under DocId-range partitioning."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if range_width < 1:
+        raise ValueError("range_width must be >= 1")
+    return (doc_id // range_width) % num_shards
+
+
+def merge_ranked(
+    per_shard: Iterable[tuple[int, Sequence[Answer]]],
+    num_ans: int | None,
+) -> list[tuple[int, Answer]]:
+    """Merge per-shard ranked relations into one global ranking.
+
+    Sorts by descending probability with a stable (DocId, LineNo)
+    tie-break -- the order a single database produces when documents
+    were ingested in DocId order -- and cuts at ``num_ans``.  Each kept
+    answer is tagged with its source shard (line ids are shard-local).
+    """
+    rows = [
+        (shard, answer) for shard, answers in per_shard for answer in answers
+    ]
+    rows.sort(key=lambda row: (-row[1].probability, row[1].doc_id, row[1].line_no))
+    if num_ans is not None:
+        rows = rows[:num_ans]
+    return rows
+
+
+class _Shard:
+    """One shard's moving parts: writer, reader pool, generation."""
+
+    __slots__ = ("index", "path", "writer", "write_lock", "pool", "generation")
+
+    def __init__(
+        self,
+        index: int,
+        path: str,
+        k: int,
+        m: int,
+        pool_size: int,
+        index_approach: str,
+    ) -> None:
+        self.index = index
+        self.path = path
+        # Writer first, as in QueryService: a fresh shard file gets its
+        # schema and WAL mode before any pooled reader connects.
+        self.writer = StaccatoDB(path, k=k, m=m, check_same_thread=False)
+        try:
+            self.writer.conn.execute("PRAGMA journal_mode=WAL")
+        except Exception:
+            pass  # filesystems without locking; rollback mode works
+        self.write_lock = threading.Lock()
+        self.pool = ConnectionPool(
+            path,
+            size=pool_size,
+            k=k,
+            m=m,
+            index_approach=index_approach,
+            label=f"shard-{index}",
+        )
+        self.generation = 0
+
+
+class ShardedPool:
+    """Per-shard reader pools plus per-shard generation counters.
+
+    The generation counter is the invalidation currency: every committed
+    write (ingest batch or index rebuild) to a shard bumps its counter,
+    and cached results carry the generation vector of the shards they
+    read -- a stale result's key simply never matches again, which also
+    closes the compute/invalidate race without a global generation.
+    """
+
+    def __init__(
+        self,
+        paths: Sequence[str],
+        k: int = 25,
+        m: int = 40,
+        pool_size: int = 2,
+        index_approach: str = "staccato",
+    ) -> None:
+        if not paths:
+            raise ValueError("a sharded pool needs at least one shard path")
+        self._gen_lock = threading.Lock()
+        self.shards = [
+            _Shard(i, path, k, m, pool_size, index_approach)
+            for i, path in enumerate(paths)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def shard(self, index: int) -> _Shard:
+        return self.shards[index]
+
+    def acquire(self, index: int, timeout: float | None = None):
+        """Borrow a reader connection from shard ``index``'s pool."""
+        return self.shards[index].pool.acquire(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def generations(self, scope: Sequence[int]) -> tuple[int, ...]:
+        """Snapshot of the scoped shards' generation counters."""
+        with self._gen_lock:
+            return tuple(self.shards[i].generation for i in scope)
+
+    def bump(self, scope: Iterable[int]) -> None:
+        """Advance the touched shards' generations after a write."""
+        with self._gen_lock:
+            for i in scope:
+                self.shards[i].generation += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> list[dict[str, object]]:
+        """Per-shard occupancy/generation snapshot for ``/stats``."""
+        return [
+            {
+                "index": shard.index,
+                "path": shard.path,
+                "generation": shard.generation,
+                "pool": shard.pool.stats(),
+            }
+            for shard in self.shards
+        ]
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.pool.close()
+            shard.writer.close()
+
+
+class ShardedQueryService:
+    """The StaccatoDB query service over N DocId-range shards."""
+
+    def __init__(
+        self,
+        shard_dir: str,
+        num_shards: int,
+        k: int = 25,
+        m: int = 40,
+        pool_size: int = 2,
+        cache_size: int = 256,
+        index_approach: str = "staccato",
+        range_width: int = DEFAULT_RANGE_WIDTH,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("a sharded service needs at least one shard")
+        os.makedirs(shard_dir, exist_ok=True)
+        self.shard_dir = shard_dir
+        self.num_shards = num_shards
+        self.range_width = range_width
+        self.index_approach = index_approach
+        self.paths = shard_paths(shard_dir, num_shards)
+        self.pool = ShardedPool(
+            self.paths,
+            k=k,
+            m=m,
+            pool_size=pool_size,
+            index_approach=index_approach,
+        )
+        self.cache = QueryCache(cache_size)
+        self.metrics = ServiceMetrics()
+        self._rr_lock = threading.Lock()
+        self._rr_next = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="shard-fanout"
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+        self.pool.close()
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _scope(self, shards: tuple[int, ...] | None) -> tuple[int, ...]:
+        """The shard indices a request fans out to (default: all)."""
+        if shards is None:
+            return tuple(range(self.num_shards))
+        bad = [i for i in shards if i >= self.num_shards]
+        if bad:
+            raise ApiError(
+                400,
+                f"unknown shards {bad}; this service has "
+                f"{self.num_shards} shards (0..{self.num_shards - 1})",
+                code="unknown_shard",
+            )
+        return shards
+
+    def _fan_out(self, scope: Sequence[int], leg):
+        """Run ``leg(shard_index)`` on every scoped shard concurrently."""
+        return list(self._executor.map(leg, scope))
+
+    def _fan_out_writes(self, scope: Sequence[int], leg):
+        """Fan a *write* out, never losing a committed shard's result.
+
+        Unlike :meth:`_fan_out`, a failing leg does not mask the legs
+        that already committed: the caller gets every successful result
+        so it can bump those shards' generations and evict their cache
+        entries *before* the first error is re-raised -- otherwise a
+        partial failure would leave pre-write cached answers servable
+        for shards whose batch did land.
+        """
+        wrapped = self._executor.map(
+            lambda index: (index, *self._attempt(leg, index)), scope
+        )
+        succeeded, first_error = [], None
+        for index, value, error in wrapped:
+            if error is None:
+                succeeded.append(value)
+            elif first_error is None:
+                first_error = error
+        return succeeded, first_error
+
+    @staticmethod
+    def _attempt(leg, index: int):
+        try:
+            return leg(index), None
+        except Exception as exc:  # noqa: BLE001 - re-raised by the caller
+            return None, exc
+
+    def _invalidate_shards(self, touched: set[int]) -> int:
+        """Evict only cache entries whose scope intersects ``touched``.
+
+        Keys are ``(kind, scope, generations, ...)`` -- see the query
+        methods below -- so ``key[1]`` is the scope tuple.
+        """
+        return self.cache.invalidate_where(
+            lambda key: bool(touched.intersection(key[1]))
+        )
+
+    # ------------------------------------------------------------------
+    def ingest(self, payload: object) -> dict[str, object]:
+        """Route a batch to its owning shards; invalidates only those."""
+        request = validate_ingest(payload)
+        groups: dict[int, list[Document]] = {}
+        if request.route == "round_robin":
+            # One lock hold per batch: reserve the whole stride so a
+            # batch's placement stays contiguous under racing ingests.
+            with self._rr_lock:
+                start = self._rr_next
+                self._rr_next = (
+                    start + len(request.dataset.documents)
+                ) % self.num_shards
+            for offset, doc in enumerate(request.dataset.documents):
+                target = (start + offset) % self.num_shards
+                groups.setdefault(target, []).append(doc)
+        else:
+            for doc in request.dataset.documents:
+                target = shard_for_doc(
+                    doc.doc_id, self.num_shards, self.range_width
+                )
+                groups.setdefault(target, []).append(doc)
+        started = time.perf_counter()
+
+        def leg(index: int) -> tuple[int, int, int]:
+            docs = groups[index]
+            shard = self.pool.shard(index)
+            leg_started = time.perf_counter()
+            # Each leg gets its own engine instance (stateless but cheap);
+            # per-line SFAs depend only on (seed, text, doc_id, line_no),
+            # so placement never changes a line's probabilities.
+            ocr = SimulatedOcrEngine(seed=request.ocr_seed)
+            with shard.write_lock:
+                count = shard.writer.ingest(
+                    Dataset(name=request.dataset.name, documents=docs),
+                    ocr,
+                    approaches=request.approaches,
+                    workers=request.workers,
+                )
+                total = shard.writer.num_lines
+            self.metrics.observe_shard(
+                index, "ingest", time.perf_counter() - leg_started
+            )
+            return index, count, total
+
+        results, error = self._fan_out_writes(sorted(groups), leg)
+        touched = {index for index, _, _ in results}
+        self.pool.bump(touched)
+        evicted = self._invalidate_shards(touched)
+        if error is not None:
+            raise error
+        return {
+            "dataset": request.dataset.name,
+            "route": request.route,
+            "ingested_lines": sum(count for _, count, _ in results),
+            "total_lines": self.total_lines(),
+            "shards": {
+                str(index): {"ingested_lines": count, "total_lines": total}
+                for index, count, total in results
+            },
+            "evicted_cache_entries": evicted,
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+    # ------------------------------------------------------------------
+    def search(self, payload: object) -> dict[str, object]:
+        """Fan a search out over the scoped shards and merge the ranking."""
+        request = validate_search(payload)
+        scope = self._scope(request.shards)
+        key = (
+            "search",
+            scope,
+            self.pool.generations(scope),
+            request.pattern,
+            request.approach,
+            request.plan,
+            request.num_ans,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return {**cached, "cached": True}
+        started = time.perf_counter()
+
+        def leg(index: int) -> tuple[int, str, list[Answer]]:
+            leg_started = time.perf_counter()
+            try:
+                with self.pool.acquire(index) as db:
+                    label, answers = run_search_plan(db, request)
+            except Exception:
+                self.metrics.observe_shard(
+                    index, "search", time.perf_counter() - leg_started, error=True
+                )
+                raise
+            self.metrics.observe_shard(
+                index, "search", time.perf_counter() - leg_started
+            )
+            return index, label, answers
+
+        results = self._fan_out(scope, leg)
+        merged = merge_ranked(
+            [(index, answers) for index, _, answers in results],
+            request.num_ans,
+        )
+        labels = {label for _, label, _ in results}
+        result = {
+            "pattern": request.pattern,
+            "approach": request.approach,
+            "plan": labels.pop() if len(labels) == 1 else "mixed",
+            "plans": {str(index): label for index, label, _ in results},
+            "shards": list(scope),
+            "count": len(merged),
+            "answers": [
+                {**answer_row(answer), "shard": shard}
+                for shard, answer in merged
+            ],
+            "elapsed_s": time.perf_counter() - started,
+        }
+        self.cache.put(key, result)
+        return {**result, "cached": False}
+
+    # ------------------------------------------------------------------
+    def sql(self, payload: object) -> dict[str, object]:
+        """Distribute a probabilistic SELECT and merge exactly.
+
+        Every shard runs the widened :func:`~repro.db.sql.shard_select`
+        plan (full rows, base aggregates, no cutoff); the router merges
+        with :func:`~repro.db.sql.merge_shard_rows`.
+        """
+        request = validate_sql(payload)
+        scope = self._scope(request.shards)
+        key = (
+            "sql",
+            scope,
+            self.pool.generations(scope),
+            request.query,
+            request.approach,
+            request.num_ans,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return {**cached, "cached": True}
+        try:
+            parsed = parse_select(request.query)
+        except SqlError as exc:
+            raise ApiError(400, str(exc), code="sql_error") from exc
+        base = shard_select(parsed)
+        started = time.perf_counter()
+
+        def leg(index: int) -> list[dict[str, object]]:
+            leg_started = time.perf_counter()
+            try:
+                with self.pool.acquire(index) as db:
+                    rows = execute_select(
+                        db,
+                        request.query,
+                        approach=request.approach,
+                        num_ans=None,
+                        parsed=base,
+                    )
+            except SqlError as exc:
+                self.metrics.observe_shard(
+                    index, "sql", time.perf_counter() - leg_started, error=True
+                )
+                raise ApiError(400, str(exc), code="sql_error") from exc
+            self.metrics.observe_shard(
+                index, "sql", time.perf_counter() - leg_started
+            )
+            return rows
+
+        shard_rows = self._fan_out(scope, leg)
+        try:
+            rows = merge_shard_rows(parsed, shard_rows, num_ans=request.num_ans)
+        except SqlError as exc:
+            raise ApiError(400, str(exc), code="sql_error") from exc
+        result = {
+            "query": request.query,
+            "approach": request.approach,
+            "shards": list(scope),
+            "count": len(rows),
+            "rows": rows,
+            "elapsed_s": time.perf_counter() - started,
+        }
+        self.cache.put(key, result)
+        return {**result, "cached": False}
+
+    # ------------------------------------------------------------------
+    def index(self, payload: object) -> dict[str, object]:
+        """Build/rebuild the dictionary index per scoped shard.
+
+        Each shard builds over its own data on the writer, then its pool
+        broadcasts ``load_index`` so every pooled reader serves indexed
+        plans immediately; the touched shards' cached results are
+        evicted (plan choices and projected evaluations may change).
+        """
+        request = validate_index(payload)
+        scope = self._scope(request.shards)
+        started = time.perf_counter()
+
+        def leg(index: int) -> tuple[int, int, bool]:
+            shard = self.pool.shard(index)
+            leg_started = time.perf_counter()
+            with shard.write_lock:
+                postings = shard.writer.build_index(
+                    request.terms, approach=request.approach
+                )
+            reloaded = shard.pool.reload_index(request.approach)
+            self.metrics.observe_shard(
+                index, "index", time.perf_counter() - leg_started
+            )
+            return index, postings, reloaded
+
+        results, error = self._fan_out_writes(scope, leg)
+        touched = {index for index, _, _ in results}
+        self.pool.bump(touched)
+        evicted = self._invalidate_shards(touched)
+        if error is not None:
+            raise error
+        return {
+            "approach": request.approach,
+            "terms": len(request.terms),
+            "postings": sum(postings for _, postings, _ in results),
+            "shards": {
+                str(index): {"postings": postings, "reloaded": reloaded}
+                for index, postings, reloaded in results
+            },
+            "evicted_cache_entries": evicted,
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+    # ------------------------------------------------------------------
+    def total_lines(self) -> int:
+        total = 0
+        for shard in self.pool.shards:
+            with shard.pool.acquire() as db:
+                total += db.num_lines
+        return total
+
+    def health(self) -> dict[str, object]:
+        """Liveness: every shard answers a trivial query."""
+        per_shard: dict[str, int] = {}
+        for shard in self.pool.shards:
+            with shard.pool.acquire() as db:
+                per_shard[str(shard.index)] = db.num_lines
+        return {
+            "status": "ok",
+            "db": self.shard_dir,
+            "num_shards": self.num_shards,
+            "lines": sum(per_shard.values()),
+            "shard_lines": per_shard,
+            "uptime_s": self.metrics.uptime_s,
+        }
+
+    def stats(self) -> dict[str, object]:
+        """Operational snapshot: per-shard db/pool plus shared registries."""
+        from ..db.engine import APPROACHES
+
+        shard_stats = []
+        for shard, pool_stat in zip(self.pool.shards, self.pool.stats()):
+            with shard.pool.acquire() as db:
+                pool_stat = {
+                    **pool_stat,
+                    "lines": db.num_lines,
+                    "storage_bytes": {
+                        a: db.storage_bytes(a) for a in APPROACHES
+                    },
+                }
+            shard_stats.append(pool_stat)
+        return {
+            "db": {
+                "shard_dir": self.shard_dir,
+                "num_shards": self.num_shards,
+                "range_width": self.range_width,
+                "lines": sum(s["lines"] for s in shard_stats),
+            },
+            "shards": shard_stats,
+            "cache": self.cache.stats(),
+            "requests": self.metrics.snapshot(),
+            "uptime_s": self.metrics.uptime_s,
+        }

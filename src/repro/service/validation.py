@@ -25,16 +25,25 @@ __all__ = [
     "SearchRequest",
     "SqlRequest",
     "IngestRequest",
+    "IndexRequest",
     "validate_search",
     "validate_sql",
     "validate_ingest",
+    "validate_index",
     "PLANS",
+    "ROUTES",
 ]
 
 PLANS = ("filescan", "indexed", "auto")
 
 #: Representations an ingest batch may request.
 INGEST_APPROACHES = ("map", "kmap", "fullsfa", "staccato")
+
+#: Representations the dictionary index may cover (paper Section 4).
+INDEX_APPROACHES = ("kmap", "staccato")
+
+#: How a sharded service assigns ingested documents to shards.
+ROUTES = ("range", "round_robin")
 
 
 class ApiError(Exception):
@@ -58,6 +67,7 @@ class SearchRequest:
     approach: str
     plan: str
     num_ans: int | None
+    shards: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +75,7 @@ class SqlRequest:
     query: str
     approach: str
     num_ans: int | None
+    shards: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,6 +84,14 @@ class IngestRequest:
     ocr_seed: int
     approaches: tuple[str, ...]
     workers: int | None
+    route: str = "range"
+
+
+@dataclass(frozen=True, slots=True)
+class IndexRequest:
+    terms: tuple[str, ...]
+    approach: str
+    shards: tuple[int, ...] | None = None
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +135,26 @@ def _optional_int(
     return value
 
 
+def _optional_shards(payload: Mapping[str, Any]) -> tuple[int, ...] | None:
+    """The optional ``shards`` scope: a list of shard indices, or None.
+
+    Only a sharded service honours the scope; the single-database service
+    rejects a scoped request with ``not_sharded``.
+    """
+    value = payload.get("shards")
+    if value is None:
+        return None
+    if not isinstance(value, list) or not value:
+        raise ApiError(400, "'shards' must be a non-empty list of shard indices")
+    indices: list[int] = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int) or item < 0:
+            raise ApiError(400, "'shards' entries must be integers >= 0")
+        if item not in indices:
+            indices.append(item)
+    return tuple(sorted(indices))
+
+
 # ----------------------------------------------------------------------
 def validate_search(payload: Any) -> SearchRequest:
     """``POST /search`` body -> SearchRequest."""
@@ -125,6 +164,7 @@ def validate_search(payload: Any) -> SearchRequest:
         approach=_choice(body, "approach", APPROACHES, "staccato"),
         plan=_choice(body, "plan", PLANS, "filescan"),
         num_ans=_optional_int(body, "num_ans", default=100, minimum=1),
+        shards=_optional_shards(body),
     )
 
 
@@ -135,6 +175,24 @@ def validate_sql(payload: Any) -> SqlRequest:
         query=_required_str(body, "query"),
         approach=_choice(body, "approach", APPROACHES, "staccato"),
         num_ans=_optional_int(body, "num_ans", default=100, minimum=1),
+        shards=_optional_shards(body),
+    )
+
+
+def validate_index(payload: Any) -> IndexRequest:
+    """``POST /index`` body -> IndexRequest."""
+    body = _mapping(payload)
+    raw_terms = body.get("terms")
+    if (
+        not isinstance(raw_terms, list)
+        or not raw_terms
+        or not all(isinstance(t, str) and t for t in raw_terms)
+    ):
+        raise ApiError(400, "'terms' must be a non-empty list of dictionary words")
+    return IndexRequest(
+        terms=tuple(raw_terms),
+        approach=_choice(body, "approach", INDEX_APPROACHES, "staccato"),
+        shards=_optional_shards(body),
     )
 
 
@@ -199,4 +257,5 @@ def validate_ingest(payload: Any) -> IngestRequest:
         ocr_seed=_optional_int(body, "ocr_seed", default=0) or 0,
         approaches=tuple(raw_approaches),
         workers=workers,
+        route=_choice(body, "route", ROUTES, "range"),
     )

@@ -12,6 +12,9 @@ from repro.bench.harness import CorpusBench
 from repro.ocr.corpus import make_scale
 from repro.ocr.engine import SimulatedOcrEngine
 
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
+
 PATTERN = r"REGEX:19\d\d"
 SIZES = [15, 30, 60, 120]
 

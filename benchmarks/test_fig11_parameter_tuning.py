@@ -17,6 +17,10 @@ from repro.core.tuning import (
 from repro.query.eval_sfa import match_probability
 from repro.query.like import compile_like
 from repro.sfa.serialize import blob_size
+import pytest
+
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
 
 QUERIES = [
     "%President%",

@@ -8,6 +8,10 @@ beat *both* baselines (k-MAP loses on recall, FullSFA on precision).
 
 from repro.bench.harness import MAX_CHUNKS
 from repro.bench.workload import query_by_id
+import pytest
+
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
 
 K_GRID = [1, 10, 25, 50]
 M_GRID = [1, 10, 40, MAX_CHUNKS]

@@ -13,6 +13,10 @@ from repro.automata.trie import DictionaryTrie
 from repro.indexing.inverted import build_sfa_postings
 
 from .conftest import DICTIONARY
+import pytest
+
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
 
 
 def test_index_construction_times(benchmark, ca_bench, report):

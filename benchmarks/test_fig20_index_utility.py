@@ -11,6 +11,10 @@ from repro.indexing.inverted import build_sfa_postings
 from repro.indexing.postings import PostingIndex
 
 from .conftest import DICTIONARY
+import pytest
+
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
 
 TERM = "public"
 GRID = [(1, 1), (1, 25), (10, 10), (10, 50), (40, 25), (40, 50)]

@@ -18,6 +18,9 @@ from repro.ocr.engine import SimulatedOcrEngine
 
 from .conftest import DICTIONARY
 
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
+
 PATTERN = r"REGEX:Public Law (8|9)\d"
 
 

@@ -6,11 +6,15 @@ what DocId-range sharding (repro.service.shards) does to both.  The
 corpus is small so the run stays cheap; the interesting signal is the
 relative shape (fan-out overhead vs scan parallelism), not absolute
 req/s on CI hardware.
+
+The failover bench is the availability counterpart: 2 shards x 2
+replicas, one replica file deleted while the load is running; the bar
+is zero client-visible errors in every window.
 """
 
 from __future__ import annotations
 
-from repro.bench.service_load import run_sharded_comparison
+from repro.bench.service_load import run_failover_demo, run_sharded_comparison
 
 
 def test_service_throughput_single_vs_sharded(report):
@@ -49,3 +53,48 @@ def test_service_throughput_single_vs_sharded(report):
     assert comparison.sharded.errors == 0
     assert comparison.single.throughput_rps > 0
     assert comparison.sharded.throughput_rps > 0
+
+
+def test_failover_kill_replica_mid_load(report):
+    demo = run_failover_demo(
+        num_shards=2,
+        replicas=2,
+        docs=4,
+        lines=3,
+        concurrency=8,
+        repeats=12,
+        k=4,
+        m=6,
+        kill_after_s=0.05,  # well inside the during window
+    )
+    rows = [
+        [
+            phase,
+            f"{result.throughput_rps:.1f}",
+            f"{result.latency_p50_ms:.1f}",
+            f"{result.latency_p95_ms:.1f}",
+            f"{result.latency_p99_ms:.1f}",
+            result.errors,
+        ]
+        for phase, result in [
+            ("before", demo.before),
+            ("during", demo.during),
+            ("after", demo.after),
+        ]
+    ]
+    report.table(
+        "Service failover 2 shards x2 replicas kill one mid-load",
+        ["phase", "req/s", "p50 ms", "p95 ms", "p99 ms", "errors"],
+        rows,
+    )
+    assert demo.zero_downtime, (demo.before, demo.during, demo.after)
+    # The killed copy (shard 0's) really left the rotation...
+    assert (
+        demo.healthy_during["0"]["healthy"]
+        < demo.healthy_during["0"]["attached"]
+    )
+    # ...and detach + re-attach restored full strength.
+    assert all(
+        census["healthy"] == census["attached"]
+        for census in demo.healthy_after.values()
+    )

@@ -10,6 +10,10 @@ between on both quality and time.
 from repro.bench.workload import query_by_id
 
 from .conftest import bench_for
+import pytest
+
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
 
 PARAMS = {"m": 40, "k": 25}
 QUERIES = ["CA4", "CA7", "LT1", "LT6", "DB5", "DB6"]

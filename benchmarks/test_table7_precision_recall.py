@@ -9,6 +9,10 @@ recall above k-MAP's; regex queries hurt MAP much more than keywords.
 from repro.bench.workload import standard_workload
 
 from .conftest import TABLE78_PARAMS, bench_for
+import pytest
+
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
 
 APPROACHES = ("map", "kmap", "fullsfa", "staccato")
 

@@ -9,6 +9,10 @@ expensive FullSFA entries).
 from repro.bench.workload import standard_workload
 
 from .conftest import TABLE78_PARAMS
+import pytest
+
+#: End-to-end benchmark; minutes of wall-clock. CI runs -m 'not slow' first.
+pytestmark = pytest.mark.slow
 
 APPROACHES = ("map", "kmap", "fullsfa", "staccato")
 

@@ -27,6 +27,16 @@ service, drives both with the same load, and reports the two
 throughput/latency profiles side by side.  ``python -m
 repro.bench.service_load`` runs it from the command line and writes the
 report under ``benchmarks/reports/``.
+
+A third *failover mode* (``--mode failover``,
+:func:`run_failover_demo`) measures the availability story: it starts a
+sharded service with ``--replicas`` read copies per shard, deletes one
+replica file **while a load is running**, and reports the
+before/during/after throughput -- the during window must finish with
+zero client-visible errors (every request that hit the dead replica is
+retried transparently on a sibling), and the after window runs with
+the replica detached and a fresh copy re-attached via ``POST
+/replicas``.
 """
 
 from __future__ import annotations
@@ -47,10 +57,12 @@ from ..service.metrics import percentile
 __all__ = [
     "LoadResult",
     "ShardedComparison",
+    "FailoverDemo",
     "post_json",
     "get_json",
     "run_search_load",
     "run_sharded_comparison",
+    "run_failover_demo",
     "main",
 ]
 
@@ -277,13 +289,219 @@ def run_sharded_comparison(
     )
 
 
+# ----------------------------------------------------------------------
+# Failover mode: kill one replica file mid-load and measure the three
+# windows (healthy, degraded, re-attached).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class FailoverDemo:
+    """One kill-a-replica run: the three load windows plus what died."""
+
+    num_shards: int
+    replicas: int
+    corpus_lines: int
+    killed_path: str
+    before: LoadResult
+    during: LoadResult
+    after: LoadResult
+    healthy_during: dict[str, dict[str, int]]
+    healthy_after: dict[str, dict[str, int]]
+
+    @property
+    def zero_downtime(self) -> bool:
+        """No client-visible error in any window (the acceptance bar)."""
+        return (
+            self.before.errors == 0
+            and self.during.errors == 0
+            and self.after.errors == 0
+        )
+
+    def report(self) -> str:
+        headers = ["phase", "req/s", "p50 ms", "p95 ms", "p99 ms", "errors"]
+        rows = [
+            ("before", self.before),
+            ("during", self.during),
+            ("after", self.after),
+        ]
+        lines = ["  ".join(f"{h:>10s}" for h in headers)]
+        for name, result in rows:
+            lines.append(
+                "  ".join(
+                    f"{cell:>10}"
+                    for cell in (
+                        name,
+                        f"{result.throughput_rps:.1f}",
+                        f"{result.latency_p50_ms:.1f}",
+                        f"{result.latency_p95_ms:.1f}",
+                        f"{result.latency_p99_ms:.1f}",
+                        str(result.errors),
+                    )
+                )
+            )
+        lines.append("")
+        lines.append(
+            f"killed mid-run (during): {pathlib.Path(self.killed_path).name}"
+        )
+        lines.append(
+            "healthy replicas during failure: "
+            + ", ".join(
+                f"shard {s}: {h['healthy']}/{h['attached']}"
+                for s, h in sorted(self.healthy_during.items())
+            )
+        )
+        lines.append(
+            "after detach + re-attach: "
+            + ", ".join(
+                f"shard {s}: {h['healthy']}/{h['attached']}"
+                for s, h in sorted(self.healthy_after.items())
+            )
+        )
+        lines.append(
+            f"zero client-visible errors across all windows: "
+            f"{self.zero_downtime}"
+        )
+        return "\n".join(lines)
+
+
+def run_failover_demo(
+    num_shards: int = 2,
+    replicas: int = 2,
+    docs: int = 4,
+    lines: int = 3,
+    patterns: Sequence[str] = tuple(DEFAULT_PATTERNS),
+    approach: str = "staccato",
+    concurrency: int = 8,
+    repeats: int = 5,
+    num_ans: int = 10,
+    k: int = 4,
+    m: int = 6,
+    range_width: int = 1,
+    kill_shard: int = 0,
+    kill_after_s: float = 0.2,
+    cooldown_s: float = 0.25,
+) -> FailoverDemo:
+    """Delete one replica file under load; measure the three windows.
+
+    The service runs with the result cache disabled so every request
+    really reads a replica -- otherwise the during-window would be
+    served from memory and never exercise the failover path.  The kill
+    happens from a timer thread ``kill_after_s`` into the during
+    window; afterwards the dead replica is detached and a fresh copy
+    attached over ``POST /replicas``, so the after window runs at full
+    strength again.
+    """
+    import os
+    import threading
+
+    from ..ocr.corpus import make_ca
+    from ..service import start_sharded_service
+
+    corpus = make_ca(num_docs=docs, lines_per_doc=lines, seed=1)
+    load_kwargs = dict(
+        approach=approach,
+        num_ans=num_ans,
+        concurrency=concurrency,
+        repeats=repeats,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        running = start_sharded_service(
+            f"{tmp}/shards",
+            num_shards,
+            k=k,
+            m=m,
+            pool_size=2,
+            cache_size=0,
+            range_width=range_width,
+            replicas=replicas,
+            replica_cooldown_s=cooldown_s,
+        )
+        try:
+            _ingest_over_http(running.base_url, corpus)
+            victim = running.service.pool.shard(kill_shard).replicas.replicas()[-1]
+            before = run_search_load(
+                running.base_url, list(patterns), **load_kwargs
+            )
+
+            def kill() -> None:
+                for path in (
+                    victim.path,
+                    f"{victim.path}-wal",
+                    f"{victim.path}-shm",
+                ):
+                    if os.path.exists(path):
+                        os.remove(path)
+
+            timer = threading.Timer(kill_after_s, kill)
+            timer.start()
+            try:
+                during = run_search_load(
+                    running.base_url, list(patterns), **load_kwargs
+                )
+            finally:
+                timer.cancel()
+                kill()  # ensure the file is gone even on a fast window
+            # Let the read rotation observe the missing file (the cache
+            # is off, so each request really touches a replica): after
+            # one pass over every replica the breaker must be open.
+            for _ in range(2 * replicas * num_shards):
+                post_json(
+                    running.base_url,
+                    "/search",
+                    {"pattern": list(patterns)[0], "num_ans": 1},
+                )
+            _, health = get_json(running.base_url, "/health")
+            healthy_during = health["replicas"]
+            status, _ = post_json(
+                running.base_url,
+                "/replicas",
+                {
+                    "action": "detach",
+                    "shard": kill_shard,
+                    "replica": victim.replica_index,
+                },
+            )
+            if status != 200:
+                raise RuntimeError(f"detach failed with HTTP {status}")
+            status, _ = post_json(
+                running.base_url, "/replicas", {"action": "attach", "shard": kill_shard}
+            )
+            if status != 200:
+                raise RuntimeError(f"attach failed with HTTP {status}")
+            after = run_search_load(
+                running.base_url, list(patterns), **load_kwargs
+            )
+            _, health = get_json(running.base_url, "/health")
+            healthy_after = health["replicas"]
+        finally:
+            running.stop()
+    return FailoverDemo(
+        num_shards=num_shards,
+        replicas=replicas,
+        corpus_lines=corpus.num_lines,
+        killed_path=victim.path,
+        before=before,
+        during=during,
+        after=after,
+        healthy_during=healthy_during,
+        healthy_after=healthy_after,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI for the sharded service-throughput report."""
+    """CLI for the sharded-throughput and replica-failover reports."""
     parser = argparse.ArgumentParser(
         prog="repro.bench.service_load",
-        description="single-db vs sharded service throughput",
+        description="single-db vs sharded throughput, or replica failover",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("compare", "failover"),
+        default="compare",
+        help="compare: single-db vs shards; failover: kill a replica mid-load",
     )
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="read replicas per shard (failover mode)")
     parser.add_argument("--docs", type=int, default=4)
     parser.add_argument("--lines", type=int, default=3)
     parser.add_argument("--concurrency", type=int, default=8)
@@ -292,31 +510,54 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--m", type=int, default=6)
     parser.add_argument(
         "--out",
-        default="benchmarks/reports/service_throughput.txt",
-        help="report path ('-' prints only)",
+        default=None,
+        help="report path ('-' prints only; default depends on --mode)",
     )
     args = parser.parse_args(argv)
-    comparison = run_sharded_comparison(
-        num_shards=args.shards,
-        docs=args.docs,
-        lines=args.lines,
-        concurrency=args.concurrency,
-        repeats=args.repeats,
-        k=args.k,
-        m=args.m,
-    )
-    title = (
-        f"service throughput: {comparison.corpus_lines}-line corpus, "
-        f"single-db vs {comparison.num_shards} shards"
-    )
-    text = f"{title}\n{comparison.report()}\n"
+    if args.mode == "failover":
+        demo = run_failover_demo(
+            num_shards=args.shards,
+            replicas=args.replicas,
+            docs=args.docs,
+            lines=args.lines,
+            concurrency=args.concurrency,
+            repeats=args.repeats,
+            k=args.k,
+            m=args.m,
+        )
+        title = (
+            f"replica failover: {demo.corpus_lines}-line corpus, "
+            f"{demo.num_shards} shards x {demo.replicas} replicas, "
+            "one replica file deleted mid-load"
+        )
+        text = f"{title}\n{demo.report()}\n"
+        out_default = "benchmarks/reports/service_failover_kill_replica.txt"
+        failed = not demo.zero_downtime
+    else:
+        comparison = run_sharded_comparison(
+            num_shards=args.shards,
+            docs=args.docs,
+            lines=args.lines,
+            concurrency=args.concurrency,
+            repeats=args.repeats,
+            k=args.k,
+            m=args.m,
+        )
+        title = (
+            f"service throughput: {comparison.corpus_lines}-line corpus, "
+            f"single-db vs {comparison.num_shards} shards"
+        )
+        text = f"{title}\n{comparison.report()}\n"
+        out_default = "benchmarks/reports/service_throughput.txt"
+        failed = bool(comparison.single.errors or comparison.sharded.errors)
     print(text, end="")
-    if args.out != "-":
-        out = pathlib.Path(args.out)
+    out_arg = args.out if args.out is not None else out_default
+    if out_arg != "-":
+        out = pathlib.Path(out_arg)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text)
         print(f"report written to {out}")
-    return 1 if (comparison.single.errors or comparison.sharded.errors) else 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ Examples::
     python -m repro tune --corpus ca --size-fraction 0.1 --recall 0.9
     python -m repro serve --db /tmp/ca.db --port 8080
     python -m repro serve --shards 4 --shard-dir /tmp/shards --port 8080
+    python -m repro serve --shards 2 --replicas 2 --shard-dir /tmp/shards
 
 ``serve`` starts the concurrent query service of :mod:`repro.service`:
 a threaded JSON-over-HTTP server exposing ``POST /ingest`` (atomic
@@ -27,8 +28,10 @@ backed by a reader connection pool and an LRU query-result cache that
 ingestion invalidates.  With ``--shards N --shard-dir DIR`` the same
 API is served by the shard router of :mod:`repro.service.shards`:
 documents partition across N StaccatoDB files by DocId range, queries
-fan out and merge.  The installed console script ``staccato`` is an
-alias for this module's ``main``.
+fan out and merge.  ``--replicas R`` keeps R read copies of every
+shard with circuit-breaker failover (``POST /replicas`` attaches or
+detaches copies at runtime).  The installed console script
+``staccato`` is an alias for this module's ``main``.
 """
 
 from __future__ import annotations
@@ -167,6 +170,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: serve needs --db (or --shards/--shard-dir)",
               file=sys.stderr)
         return 2
+    if args.replicas < 1:
+        print("error: --replicas must be >= 1", file=sys.stderr)
+        return 2
+    if args.replicas > 1 and args.shards <= 0:
+        print("error: --replicas needs a sharded service (--shards)",
+              file=sys.stderr)
+        return 2
     serve_forever(
         args.db,
         host=args.host,
@@ -174,6 +184,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verbose=not args.quiet,
         shards=args.shards,
         shard_dir=args.shard_dir,
+        replicas=args.replicas,
         k=args.k,
         m=args.m,
         pool_size=args.pool_size,
@@ -256,6 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve N StaccatoDB shards instead of one --db")
     serve.add_argument("--shard-dir", default=None,
                        help="directory holding the shard-NNNN.db files")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="read replicas per shard (sharded mode only)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 picks a free one)")

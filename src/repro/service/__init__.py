@@ -57,7 +57,12 @@ HTTP API (all bodies and responses are JSON):
 On a sharded service (``serve --shards N``) ``/search``/``/sql`` fan
 out over all shards (or a ``"shards": [0, 2]`` scope) and merge the
 ranked relations; ``/ingest`` routes documents to their owning shard by
-DocId range.  See :mod:`repro.service.shards` and ``docs/API.md``.
+DocId range.  With ``--replicas R`` each shard keeps R read copies
+(writes re-apply to every copy in lockstep): reads round-robin over the
+healthy replicas, a failing replica trips a circuit breaker and its
+query retries transparently on a sibling, and ``POST /replicas``
+attaches/detaches copies at runtime.  See :mod:`repro.service.shards`,
+:mod:`repro.service.replicas` and ``docs/API.md``.
 
 Errors come back as ``{"error": {"code": ..., "message": ...}}`` with
 a 4xx/5xx status.
@@ -76,6 +81,12 @@ from .app import QueryService
 from .cache import QueryCache
 from .metrics import ServiceMetrics
 from .pool import ConnectionPool, PoolClosed
+from .replicas import (
+    CircuitBreaker,
+    ReplicaSet,
+    ReplicaUnavailable,
+    replica_path,
+)
 from .server import (
     RunningService,
     build_server,
@@ -91,6 +102,10 @@ __all__ = [
     "ShardedQueryService",
     "ShardedPool",
     "shard_for_doc",
+    "CircuitBreaker",
+    "ReplicaSet",
+    "ReplicaUnavailable",
+    "replica_path",
     "QueryCache",
     "ServiceMetrics",
     "ConnectionPool",

@@ -20,11 +20,13 @@ from __future__ import annotations
 import threading
 import time
 
+from ..automata.regex import RegexError
 from ..db.engine import APPROACHES, StaccatoDB
 from ..db.planner import execute_plan
 from ..db.sql import SqlError, execute_select
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer
+from ..query.like import compile_like
 from .cache import QueryCache
 from .metrics import ServiceMetrics
 from .pool import ConnectionPool
@@ -37,7 +39,26 @@ from .validation import (
     validate_sql,
 )
 
-__all__ = ["QueryService", "run_search_plan", "answer_row"]
+__all__ = [
+    "QueryService",
+    "run_search_plan",
+    "answer_row",
+    "check_pattern",
+]
+
+
+def check_pattern(pattern: str) -> None:
+    """Reject an uncompilable pattern up front, as a structured 400.
+
+    Compilation is deterministic, so letting a bad pattern reach the
+    evaluation path would fail *every* replica it touches -- on the
+    sharded service that would trip circuit breakers and 503 healthy
+    shards over what is purely a client mistake.
+    """
+    try:
+        compile_like(pattern)
+    except RegexError as exc:
+        raise ApiError(400, str(exc), code="bad_pattern") from exc
 
 
 def answer_row(answer: Answer) -> dict[str, object]:
@@ -172,6 +193,7 @@ class QueryService:
         """LIKE/regex search, served from cache when possible."""
         request = validate_search(payload)
         reject_shard_scope(request.shards)
+        check_pattern(request.pattern)
         key = (
             "search",
             self.path,
@@ -217,7 +239,7 @@ class QueryService:
                     approach=request.approach,
                     num_ans=request.num_ans,
                 )
-            except SqlError as exc:
+            except (SqlError, RegexError) as exc:
                 raise ApiError(400, str(exc), code="sql_error") from exc
         result = {
             "query": request.query,
@@ -254,6 +276,16 @@ class QueryService:
             "reloaded": reloaded,
             "elapsed_s": time.perf_counter() - started,
         }
+
+    # ------------------------------------------------------------------
+    def replicas(self, payload: object) -> dict[str, object]:
+        """``POST /replicas`` is a shard-router admin endpoint."""
+        raise ApiError(
+            400,
+            "this service is not sharded; replicas belong to a service "
+            "started with --shards (optionally --replicas N)",
+            code="not_sharded",
+        )
 
     # ------------------------------------------------------------------
     def health(self) -> dict[str, object]:

@@ -95,7 +95,10 @@ class QueryCache:
 
         The sharded service keys entries with the shard scope they were
         computed over, so an ingest routed to one shard evicts only the
-        results that depended on it; returns the number dropped.  The
+        results that depended on it; returns the number dropped.  Each
+        dropped entry counts toward ``invalidations`` -- counting 1 per
+        sweep regardless of what it dropped would make the ``/stats``
+        hit-rate impossible to interpret against eviction volume.  The
         global generation is *not* bumped -- untouched entries stay
         servable -- so callers relying on generation fencing must encode
         per-shard generations in their keys instead.
@@ -104,8 +107,7 @@ class QueryCache:
             doomed = [key for key in self._data if predicate(key)]
             for key in doomed:
                 del self._data[key]
-            if doomed:
-                self.invalidations += 1
+            self.invalidations += len(doomed)
             return len(doomed)
 
     def stats(self) -> dict[str, float | int]:

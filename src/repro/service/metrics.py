@@ -43,6 +43,10 @@ class ServiceMetrics:
         self._shard_counts: dict[tuple[int, str], int] = {}
         self._shard_errors: dict[tuple[int, str], int] = {}
         self._shard_latencies: dict[tuple[int, str], deque[float]] = {}
+        # Per-replica attempts, keyed (shard index, replica index, endpoint).
+        self._replica_counts: dict[tuple[int, int, str], int] = {}
+        self._replica_errors: dict[tuple[int, int, str], int] = {}
+        self._replica_latencies: dict[tuple[int, int, str], deque[float]] = {}
         self.started_at = time.monotonic()
 
     def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
@@ -72,6 +76,31 @@ class ServiceMetrics:
             if error:
                 self._shard_errors[key] = self._shard_errors.get(key, 0) + 1
             ring = self._shard_latencies.setdefault(
+                key, deque(maxlen=self._window)
+            )
+            ring.append(seconds)
+
+    def observe_replica(
+        self,
+        shard: int,
+        replica: int,
+        endpoint: str,
+        seconds: float,
+        error: bool = False,
+    ) -> None:
+        """Record one replica's attempt at serving a shard leg.
+
+        The failover path may try several replicas for one leg, so these
+        are *attempt* counts, not request counts: a replica accumulating
+        errors here is exactly the skew ``/stats`` should make visible
+        (and the leg the client saw still succeeded on a sibling).
+        """
+        key = (shard, replica, endpoint)
+        with self._lock:
+            self._replica_counts[key] = self._replica_counts.get(key, 0) + 1
+            if error:
+                self._replica_errors[key] = self._replica_errors.get(key, 0) + 1
+            ring = self._replica_latencies.setdefault(
                 key, deque(maxlen=self._window)
             )
             ring.append(seconds)
@@ -118,4 +147,20 @@ class ServiceMetrics:
                         ),
                     }
                 result["shards"] = shards
+            if self._replica_counts:
+                replicas: dict[str, dict[str, dict[str, object]]] = {}
+                for (shard, replica, endpoint), count in sorted(
+                    self._replica_counts.items()
+                ):
+                    key = (shard, replica, endpoint)
+                    replicas.setdefault(str(shard), {}).setdefault(
+                        str(replica), {}
+                    )[endpoint] = {
+                        "count": count,
+                        "errors": self._replica_errors.get(key, 0),
+                        "latency_ms": self._latency_block(
+                            list(self._replica_latencies.get(key, ()))
+                        ),
+                    }
+                result["replicas"] = replicas
             return result

@@ -14,6 +14,11 @@ Writes never go through the pool -- the service keeps one dedicated
 writer connection behind a write lock (see :mod:`repro.service.app`);
 pooled readers run in SQLite autocommit mode and therefore observe each
 committed batch immediately.
+
+A replicated shard keeps one pool per replica file (see
+:mod:`repro.service.replicas`); the ``label`` tells the pools apart in
+``/stats`` (``shard-0/r1``), and ``stats`` reports the backing ``path``
+so a replica's occupancy is attributable to its file.
 """
 
 from __future__ import annotations
@@ -134,6 +139,7 @@ class ConnectionPool:
                 "size": self.size,
                 "in_use": self.size - len(self._free),
                 "checkouts": self.checkouts,
+                "path": self.path,
             }
             if self.label is not None:
                 snapshot["label"] = self.label

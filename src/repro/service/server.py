@@ -44,6 +44,7 @@ POST_ROUTES = {
     "/search": "search",
     "/sql": "sql",
     "/index": "index",
+    "/replicas": "replicas",
 }
 
 
@@ -126,7 +127,31 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ApiError(
                 413, f"body exceeds {MAX_BODY_BYTES} bytes", "payload_too_large"
             )
-        raw = self.rfile.read(length)
+        # One read() is not enough: a client that stalls or disconnects
+        # mid-body yields a short read, which json.loads would misreport
+        # as bad_json.  Loop until the declared length arrives (bounded
+        # by the handler's socket timeout) and give truncation its own
+        # error code.
+        chunks: list[bytes] = []
+        received = 0
+        while received < length:
+            try:
+                chunk = self.rfile.read(length - received)
+            except TimeoutError:
+                chunk = b""
+            if not chunk:
+                # Drop keep-alive: bytes the client sends after the
+                # stall would otherwise be parsed as the next request.
+                self.close_connection = True
+                raise ApiError(
+                    400,
+                    f"request body ended after {received} of {length} "
+                    "declared bytes",
+                    "incomplete_body",
+                )
+            chunks.append(chunk)
+            received += len(chunk)
+        raw = b"".join(chunks)
         try:
             return json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -241,23 +266,27 @@ def serve_forever(
     verbose: bool = True,
     shards: int = 0,
     shard_dir: str | None = None,
+    replicas: int = 1,
     **service_kwargs,
 ) -> None:
     """Run the service in the foreground until interrupted (CLI path).
 
     Pass ``db_path`` for the single-database service, or ``shards`` and
-    ``shard_dir`` for the shard router of :mod:`repro.service.shards`.
+    ``shard_dir`` for the shard router of :mod:`repro.service.shards`
+    (optionally with ``replicas`` read copies per shard).
     """
     if shards > 0:
         if shard_dir is None:
             raise ValueError("sharded serving needs --shard-dir")
         service: QueryService | ShardedQueryService = ShardedQueryService(
-            shard_dir, shards, **service_kwargs
+            shard_dir, shards, replicas=replicas, **service_kwargs
         )
-        target = f"shards={shards} dir={shard_dir}"
+        target = f"shards={shards} dir={shard_dir} replicas={replicas}"
     else:
         if db_path is None:
             raise ValueError("serving needs --db (or --shards/--shard-dir)")
+        if replicas > 1:
+            raise ValueError("replicas need a sharded service (--shards)")
         service = QueryService(db_path, **service_kwargs)
         target = f"db={db_path}"
     server = build_server(service, host=host, port=port, verbose=verbose)
@@ -267,8 +296,8 @@ def serve_forever(
         f"({target})"
     )
     print(
-        "endpoints: GET /health, GET /stats, "
-        "POST /ingest, POST /search, POST /sql, POST /index"
+        "endpoints: GET /health, GET /stats, POST /ingest, "
+        "POST /search, POST /sql, POST /index, POST /replicas"
     )
     try:
         server.serve_forever()

@@ -9,13 +9,20 @@ disjoint subset of the documents:
   across the shards, so a document (and every line of it) lives wholly
   on one shard and repeated batches for the same document land in the
   same file.  ``/ingest`` may instead ask for ``"route":
-  "round_robin"`` when placement does not matter.
+  "round_robin"`` when placement does not matter; either way a document
+  already present on some shard is routed back to that owner, so
+  re-ingestion can never split one document across shards.
 * **Fan-out** -- ``/search`` and ``/sql`` execute on every scoped shard
   concurrently (a :class:`~concurrent.futures.ThreadPoolExecutor` leg
   per shard, each leg borrowing from that shard's reader pool) and the
   per-shard ranked relations are merged by probability with stable
-  (DocId, LineNo) tie-breaks -- identical answers and ranking to one
-  database holding the union.
+  (DocId, LineNo, shard) tie-breaks -- identical answers and ranking to
+  one database holding the union.
+* **Replication** -- each shard may keep N read replicas (see
+  :mod:`repro.service.replicas`): writes re-apply to every copy under
+  the shard's write lock, reads round-robin over the healthy copies,
+  and a failing replica trips a circuit breaker while its in-flight
+  query retries transparently on a sibling.
 * **Per-shard invalidation** -- every cache key embeds the shard scope
   it was computed over plus those shards' generation counters; an
   ingest or index rebuild bumps only the touched shards' generations
@@ -23,6 +30,8 @@ disjoint subset of the documents:
 * **``POST /index``** -- builds/rebuilds the dictionary index shard by
   shard and broadcasts ``load_index`` to that shard's pool, no
   out-of-band CLI step required.
+* **``POST /replicas``** -- attaches (online-backup copy of a live
+  sibling) or detaches one replica of one shard at runtime.
 
 :class:`ShardedQueryService` duck-types :class:`~repro.service.app.
 QueryService` (same endpoint methods, same metrics registry), so the
@@ -34,22 +43,25 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
+from ..automata.regex import RegexError
 from ..db.engine import StaccatoDB, shard_paths
 from ..db.sql import SqlError, execute_select, merge_shard_rows, parse_select, shard_select
 from ..ocr.corpus import Dataset, Document
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer
-from .app import answer_row, run_search_plan
+from .app import answer_row, check_pattern, run_search_plan
 from .cache import QueryCache
 from .metrics import ServiceMetrics
-from .pool import ConnectionPool
+from .replicas import DEFAULT_COOLDOWN_S, Replica, ReplicaSet, ReplicaUnavailable
 from .validation import (
     ApiError,
     validate_index,
     validate_ingest,
+    validate_replicas,
     validate_search,
     validate_sql,
 )
@@ -66,6 +78,12 @@ __all__ = [
 #: (``(doc_id // width) % num_shards``), so bulk loads of consecutive ids
 #: spread out while each document still has exactly one owner.
 DEFAULT_RANGE_WIDTH = 64
+
+#: DocIds per IN(...) batch when probing shards for existing owners.
+_OWNER_PROBE_BATCH = 400
+
+#: In-flight placement entries retained (see ``_placements``).
+_PLACEMENTS_CAP = 65536
 
 
 def shard_for_doc(
@@ -85,24 +103,33 @@ def merge_ranked(
 ) -> list[tuple[int, Answer]]:
     """Merge per-shard ranked relations into one global ranking.
 
-    Sorts by descending probability with a stable (DocId, LineNo)
+    Sorts by descending probability with a (DocId, LineNo, shard)
     tie-break -- the order a single database produces when documents
-    were ingested in DocId order -- and cuts at ``num_ans``.  Each kept
-    answer is tagged with its source shard (line ids are shard-local).
+    were ingested in DocId order, with the shard index as the final key
+    so the merged order is fully deterministic no matter which fan-out
+    leg finished first -- and cuts at ``num_ans``.  Each kept answer is
+    tagged with its source shard (line ids are shard-local).
     """
     rows = [
         (shard, answer) for shard, answers in per_shard for answer in answers
     ]
-    rows.sort(key=lambda row: (-row[1].probability, row[1].doc_id, row[1].line_no))
+    rows.sort(
+        key=lambda row: (
+            -row[1].probability,
+            row[1].doc_id,
+            row[1].line_no,
+            row[0],
+        )
+    )
     if num_ans is not None:
         rows = rows[:num_ans]
     return rows
 
 
 class _Shard:
-    """One shard's moving parts: writer, reader pool, generation."""
+    """One shard's moving parts: replica set, write lock, generation."""
 
-    __slots__ = ("index", "path", "writer", "write_lock", "pool", "generation")
+    __slots__ = ("index", "path", "write_lock", "replicas", "generation")
 
     def __init__(
         self,
@@ -112,36 +139,47 @@ class _Shard:
         m: int,
         pool_size: int,
         index_approach: str,
+        num_replicas: int,
+        cooldown_s: float,
+        clock: Callable[[], float],
     ) -> None:
         self.index = index
         self.path = path
-        # Writer first, as in QueryService: a fresh shard file gets its
-        # schema and WAL mode before any pooled reader connects.
-        self.writer = StaccatoDB(path, k=k, m=m, check_same_thread=False)
-        try:
-            self.writer.conn.execute("PRAGMA journal_mode=WAL")
-        except Exception:
-            pass  # filesystems without locking; rollback mode works
         self.write_lock = threading.Lock()
-        self.pool = ConnectionPool(
+        self.replicas = ReplicaSet(
+            index,
             path,
-            size=pool_size,
+            num_replicas,
             k=k,
             m=m,
+            pool_size=pool_size,
             index_approach=index_approach,
-            label=f"shard-{index}",
+            cooldown_s=cooldown_s,
+            clock=clock,
         )
         self.generation = 0
 
+    @property
+    def writer(self) -> StaccatoDB:
+        """The first attached replica's writer (tests, inspection)."""
+        return self.replicas.replicas()[0].writer
+
+    @property
+    def pool(self):
+        """The first attached replica's reader pool (tests, inspection)."""
+        return self.replicas.replicas()[0].pool
+
 
 class ShardedPool:
-    """Per-shard reader pools plus per-shard generation counters.
+    """Per-shard replica sets plus per-shard generation counters.
 
     The generation counter is the invalidation currency: every committed
     write (ingest batch or index rebuild) to a shard bumps its counter,
     and cached results carry the generation vector of the shards they
     read -- a stale result's key simply never matches again, which also
     closes the compute/invalidate race without a global generation.
+    Replication never enters the cache key: replicas are written in
+    lockstep, so one generation per shard describes every copy.
     """
 
     def __init__(
@@ -151,12 +189,28 @@ class ShardedPool:
         m: int = 40,
         pool_size: int = 2,
         index_approach: str = "staccato",
+        num_replicas: int = 1,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not paths:
             raise ValueError("a sharded pool needs at least one shard path")
+        if num_replicas < 1:
+            raise ValueError("each shard needs at least one replica")
         self._gen_lock = threading.Lock()
+        self.num_replicas = num_replicas
         self.shards = [
-            _Shard(i, path, k, m, pool_size, index_approach)
+            _Shard(
+                i,
+                path,
+                k,
+                m,
+                pool_size,
+                index_approach,
+                num_replicas,
+                cooldown_s,
+                clock,
+            )
             for i, path in enumerate(paths)
         ]
 
@@ -166,9 +220,14 @@ class ShardedPool:
     def shard(self, index: int) -> _Shard:
         return self.shards[index]
 
-    def acquire(self, index: int, timeout: float | None = None):
-        """Borrow a reader connection from shard ``index``'s pool."""
-        return self.shards[index].pool.acquire(timeout=timeout)
+    def read(
+        self,
+        index: int,
+        attempt: Callable[[Replica], object],
+        passthrough: tuple[type[BaseException], ...] = (),
+    ) -> object:
+        """Run one read attempt on shard ``index`` with replica failover."""
+        return self.shards[index].replicas.run(attempt, passthrough=passthrough)
 
     # ------------------------------------------------------------------
     def generations(self, scope: Sequence[int]) -> tuple[int, ...]:
@@ -184,21 +243,21 @@ class ShardedPool:
 
     # ------------------------------------------------------------------
     def stats(self) -> list[dict[str, object]]:
-        """Per-shard occupancy/generation snapshot for ``/stats``."""
+        """Per-shard occupancy/generation/replica snapshot for ``/stats``."""
         return [
             {
                 "index": shard.index,
                 "path": shard.path,
                 "generation": shard.generation,
                 "pool": shard.pool.stats(),
+                "replicas": shard.replicas.stats(),
             }
             for shard in self.shards
         ]
 
     def close(self) -> None:
         for shard in self.shards:
-            shard.pool.close()
-            shard.writer.close()
+            shard.replicas.close()
 
 
 class ShardedQueryService:
@@ -214,6 +273,8 @@ class ShardedQueryService:
         cache_size: int = 256,
         index_approach: str = "staccato",
         range_width: int = DEFAULT_RANGE_WIDTH,
+        replicas: int = 1,
+        replica_cooldown_s: float = DEFAULT_COOLDOWN_S,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a sharded service needs at least one shard")
@@ -229,11 +290,22 @@ class ShardedQueryService:
             m=m,
             pool_size=pool_size,
             index_approach=index_approach,
+            num_replicas=replicas,
+            cooldown_s=replica_cooldown_s,
         )
         self.cache = QueryCache(cache_size)
         self.metrics = ServiceMetrics()
         self._rr_lock = threading.Lock()
         self._rr_next = 0
+        # Placements decided in-process, including writes still in
+        # flight: the shard probe alone cannot see a racing ingest that
+        # has not committed yet, so without this registry two
+        # concurrent batches carrying the same new document could each
+        # pick it a different shard.  Guarded by ``_rr_lock``; bounded
+        # (oldest-first trim) because once a placement's write commits
+        # the probe takes over as the durable source -- only entries
+        # young enough to race an in-flight batch still matter.
+        self._placements: "OrderedDict[int, int]" = OrderedDict()
         self._executor = ThreadPoolExecutor(
             max_workers=num_shards, thread_name_prefix="shard-fanout"
         )
@@ -307,45 +379,163 @@ class ShardedQueryService:
         )
 
     # ------------------------------------------------------------------
+    def _replica_read(
+        self,
+        index: int,
+        endpoint: str,
+        fn: Callable[[StaccatoDB], object],
+    ) -> object:
+        """One shard leg's read with replica failover and per-replica timing."""
+
+        def attempt(replica: Replica) -> object:
+            started = time.perf_counter()
+            try:
+                with replica.pool.acquire() as db:
+                    result = fn(db)
+            except ApiError:
+                raise  # client error; not the replica's fault
+            except Exception:
+                self.metrics.observe_replica(
+                    index,
+                    replica.replica_index,
+                    endpoint,
+                    time.perf_counter() - started,
+                    error=True,
+                )
+                raise
+            self.metrics.observe_replica(
+                index,
+                replica.replica_index,
+                endpoint,
+                time.perf_counter() - started,
+            )
+            return result
+
+        return self.pool.read(index, attempt, passthrough=(ApiError,))
+
+    @staticmethod
+    def _shard_unavailable(index: int, exc: ReplicaUnavailable) -> ApiError:
+        return ApiError(503, str(exc), code="shard_unavailable")
+
+    # ------------------------------------------------------------------
+    def _existing_owners(self, doc_ids: Sequence[int]) -> dict[int, int]:
+        """Which shard already holds each of ``doc_ids`` (absent: none).
+
+        Re-ingesting a known document must land on the shard that
+        already has its earlier lines -- otherwise one document splits
+        across shards and the merged ranking carries duplicate
+        (DocId, LineNo) rows -- so every ingest first probes the shards
+        (concurrently, one leg each) for the batch's DocIds.  A
+        document somehow present on several shards (a pre-fix split)
+        keeps its lowest-indexed owner.  With one shard there is
+        nothing to probe: every document has the same owner.
+        """
+        if self.num_shards == 1 or not doc_ids:
+            return {}
+        ids = sorted(set(doc_ids))
+
+        def probe(db: StaccatoDB) -> set[int]:
+            found: set[int] = set()
+            for at in range(0, len(ids), _OWNER_PROBE_BATCH):
+                batch = ids[at : at + _OWNER_PROBE_BATCH]
+                marks = ",".join("?" * len(batch))
+                rows = db.conn.execute(
+                    f"SELECT DISTINCT DocId FROM MasterData "
+                    f"WHERE DocId IN ({marks})",
+                    batch,
+                ).fetchall()
+                found.update(row[0] for row in rows)
+            return found
+
+        def leg(index: int) -> set[int]:
+            try:
+                return self._replica_read(index, "ingest", probe)
+            except ReplicaUnavailable as exc:
+                raise self._shard_unavailable(index, exc) from exc
+
+        owners: dict[int, int] = {}
+        for index, present in enumerate(
+            self._fan_out(range(self.num_shards), leg)
+        ):
+            for doc_id in present:
+                owners.setdefault(doc_id, index)
+        return owners
+
+    # ------------------------------------------------------------------
     def ingest(self, payload: object) -> dict[str, object]:
         """Route a batch to its owning shards; invalidates only those."""
         request = validate_ingest(payload)
+        owners = self._existing_owners(
+            [doc.doc_id for doc in request.dataset.documents]
+        )
         groups: dict[int, list[Document]] = {}
-        if request.route == "round_robin":
-            # One lock hold per batch: reserve the whole stride so a
-            # batch's placement stays contiguous under racing ingests.
-            with self._rr_lock:
+        # Placement is decided under one lock hold per batch: committed
+        # rows (the probe) win, then in-process placements from racing
+        # or in-flight batches, and only genuinely new documents get a
+        # fresh assignment -- a contiguous round-robin stride, or their
+        # DocId-range owner.
+        with self._rr_lock:
+            for doc_id, index in self._placements.items():
+                owners.setdefault(doc_id, index)
+            new_docs = [
+                doc
+                for doc in request.dataset.documents
+                if doc.doc_id not in owners
+            ]
+            if request.route == "round_robin":
                 start = self._rr_next
-                self._rr_next = (
-                    start + len(request.dataset.documents)
-                ) % self.num_shards
-            for offset, doc in enumerate(request.dataset.documents):
-                target = (start + offset) % self.num_shards
-                groups.setdefault(target, []).append(doc)
-        else:
-            for doc in request.dataset.documents:
-                target = shard_for_doc(
-                    doc.doc_id, self.num_shards, self.range_width
-                )
-                groups.setdefault(target, []).append(doc)
+                self._rr_next = (start + len(new_docs)) % self.num_shards
+                for offset, doc in enumerate(new_docs):
+                    owners[doc.doc_id] = (start + offset) % self.num_shards
+            else:
+                for doc in new_docs:
+                    owners[doc.doc_id] = shard_for_doc(
+                        doc.doc_id, self.num_shards, self.range_width
+                    )
+            # Remember only the fresh assignments (probed owners are
+            # already durable on disk), trimming the oldest beyond the
+            # cap to keep a long-lived router's memory flat.
+            for doc in new_docs:
+                self._placements[doc.doc_id] = owners[doc.doc_id]
+            while len(self._placements) > _PLACEMENTS_CAP:
+                self._placements.popitem(last=False)
+        for doc in request.dataset.documents:
+            groups.setdefault(owners[doc.doc_id], []).append(doc)
         started = time.perf_counter()
 
         def leg(index: int) -> tuple[int, int, int]:
             docs = groups[index]
             shard = self.pool.shard(index)
             leg_started = time.perf_counter()
-            # Each leg gets its own engine instance (stateless but cheap);
-            # per-line SFAs depend only on (seed, text, doc_id, line_no),
-            # so placement never changes a line's probabilities.
-            ocr = SimulatedOcrEngine(seed=request.ocr_seed)
-            with shard.write_lock:
-                count = shard.writer.ingest(
+
+            def apply(replica: Replica) -> tuple[int, int]:
+                # Each replica gets its own engine instance (stateless
+                # but cheap); per-line SFAs depend only on (seed, text,
+                # doc_id, line_no), so every copy stores identical rows.
+                ocr = SimulatedOcrEngine(seed=request.ocr_seed)
+                count = replica.writer.ingest(
                     Dataset(name=request.dataset.name, documents=docs),
                     ocr,
                     approaches=request.approaches,
                     workers=request.workers,
                 )
-                total = shard.writer.num_lines
+                return count, replica.writer.num_lines
+
+            try:
+                with shard.write_lock:
+                    count, total = shard.replicas.apply_write(apply)
+            except ReplicaUnavailable as exc:
+                # Same condition, same status as the read paths: a
+                # shard with no writable replica is 503, not a 500.
+                self.metrics.observe_shard(
+                    index, "ingest", time.perf_counter() - leg_started, error=True
+                )
+                raise self._shard_unavailable(index, exc) from exc
+            except Exception:
+                self.metrics.observe_shard(
+                    index, "ingest", time.perf_counter() - leg_started, error=True
+                )
+                raise
             self.metrics.observe_shard(
                 index, "ingest", time.perf_counter() - leg_started
             )
@@ -375,6 +565,9 @@ class ShardedQueryService:
         """Fan a search out over the scoped shards and merge the ranking."""
         request = validate_search(payload)
         scope = self._scope(request.shards)
+        # A pattern that cannot compile would fail deterministically on
+        # every replica -- a 400, never breaker food.
+        check_pattern(request.pattern)
         key = (
             "search",
             scope,
@@ -392,8 +585,14 @@ class ShardedQueryService:
         def leg(index: int) -> tuple[int, str, list[Answer]]:
             leg_started = time.perf_counter()
             try:
-                with self.pool.acquire(index) as db:
-                    label, answers = run_search_plan(db, request)
+                label, answers = self._replica_read(
+                    index, "search", lambda db: run_search_plan(db, request)
+                )
+            except ReplicaUnavailable as exc:
+                self.metrics.observe_shard(
+                    index, "search", time.perf_counter() - leg_started, error=True
+                )
+                raise self._shard_unavailable(index, exc) from exc
             except Exception:
                 self.metrics.observe_shard(
                     index, "search", time.perf_counter() - leg_started, error=True
@@ -454,22 +653,34 @@ class ShardedQueryService:
         base = shard_select(parsed)
         started = time.perf_counter()
 
+        def evaluate(db: StaccatoDB) -> list[dict[str, object]]:
+            try:
+                return execute_select(
+                    db,
+                    request.query,
+                    approach=request.approach,
+                    num_ans=None,
+                    parsed=base,
+                )
+            except (SqlError, RegexError) as exc:
+                # A query error, not a replica fault: surface it as the
+                # structured 400 instead of failing over.
+                raise ApiError(400, str(exc), code="sql_error") from exc
+
         def leg(index: int) -> list[dict[str, object]]:
             leg_started = time.perf_counter()
             try:
-                with self.pool.acquire(index) as db:
-                    rows = execute_select(
-                        db,
-                        request.query,
-                        approach=request.approach,
-                        num_ans=None,
-                        parsed=base,
-                    )
-            except SqlError as exc:
+                rows = self._replica_read(index, "sql", evaluate)
+            except ReplicaUnavailable as exc:
                 self.metrics.observe_shard(
                     index, "sql", time.perf_counter() - leg_started, error=True
                 )
-                raise ApiError(400, str(exc), code="sql_error") from exc
+                raise self._shard_unavailable(index, exc) from exc
+            except ApiError:
+                self.metrics.observe_shard(
+                    index, "sql", time.perf_counter() - leg_started, error=True
+                )
+                raise
             self.metrics.observe_shard(
                 index, "sql", time.perf_counter() - leg_started
             )
@@ -495,7 +706,8 @@ class ShardedQueryService:
     def index(self, payload: object) -> dict[str, object]:
         """Build/rebuild the dictionary index per scoped shard.
 
-        Each shard builds over its own data on the writer, then its pool
+        Each scoped shard builds over its own data on every replica's
+        writer (lockstep, like ingest), then each replica's pool
         broadcasts ``load_index`` so every pooled reader serves indexed
         plans immediately; the touched shards' cached results are
         evicted (plan choices and projected evaluations may change).
@@ -507,11 +719,26 @@ class ShardedQueryService:
         def leg(index: int) -> tuple[int, int, bool]:
             shard = self.pool.shard(index)
             leg_started = time.perf_counter()
-            with shard.write_lock:
-                postings = shard.writer.build_index(
+
+            def build(replica: Replica) -> tuple[int, bool]:
+                postings = replica.writer.build_index(
                     request.terms, approach=request.approach
                 )
-            reloaded = shard.pool.reload_index(request.approach)
+                return postings, replica.pool.reload_index(request.approach)
+
+            try:
+                with shard.write_lock:
+                    postings, reloaded = shard.replicas.apply_write(build)
+            except ReplicaUnavailable as exc:
+                self.metrics.observe_shard(
+                    index, "index", time.perf_counter() - leg_started, error=True
+                )
+                raise self._shard_unavailable(index, exc) from exc
+            except Exception:
+                self.metrics.observe_shard(
+                    index, "index", time.perf_counter() - leg_started, error=True
+                )
+                raise
             self.metrics.observe_shard(
                 index, "index", time.perf_counter() - leg_started
             )
@@ -536,49 +763,127 @@ class ShardedQueryService:
         }
 
     # ------------------------------------------------------------------
+    def replicas(self, payload: object) -> dict[str, object]:
+        """``POST /replicas``: attach or detach one replica at runtime.
+
+        Attach copies a live sibling (SQLite online backup) under the
+        shard's write lock, so the new replica joins in sync; detach
+        removes the replica from the rotation and closes it once its
+        in-flight queries drain.  Both return the shard's new replica
+        roster.
+        """
+        request = validate_replicas(payload)
+        if request.shard >= self.num_shards:
+            raise ApiError(
+                400,
+                f"unknown shard {request.shard}; this service has "
+                f"{self.num_shards} shards (0..{self.num_shards - 1})",
+                code="unknown_shard",
+            )
+        shard = self.pool.shard(request.shard)
+        started = time.perf_counter()
+        if request.action == "attach":
+            with shard.write_lock:
+                try:
+                    replica = shard.replicas.attach()
+                except ReplicaUnavailable as exc:
+                    raise self._shard_unavailable(request.shard, exc) from exc
+            affected = {"replica": replica.replica_index, "path": replica.path}
+        else:
+            with shard.write_lock:
+                try:
+                    removed = shard.replicas.detach(request.replica)
+                except KeyError:
+                    raise ApiError(
+                        404,
+                        f"shard {request.shard} has no replica "
+                        f"{request.replica}",
+                        code="unknown_replica",
+                    ) from None
+                except ValueError as exc:
+                    raise ApiError(409, str(exc), code="last_replica") from exc
+            affected = {"replica": removed.replica_index, "path": removed.path}
+        return {
+            "action": request.action,
+            "shard": request.shard,
+            **affected,
+            "replicas": shard.replicas.stats(),
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+    # ------------------------------------------------------------------
     def total_lines(self) -> int:
+        """Lines across all shards (skipping any fully-down shard)."""
         total = 0
-        for shard in self.pool.shards:
-            with shard.pool.acquire() as db:
-                total += db.num_lines
+        for index in range(self.num_shards):
+            try:
+                total += self._replica_read(
+                    index, "health", lambda db: db.num_lines
+                )
+            except ReplicaUnavailable:
+                continue
         return total
 
     def health(self) -> dict[str, object]:
-        """Liveness: every shard answers a trivial query."""
-        per_shard: dict[str, int] = {}
-        for shard in self.pool.shards:
-            with shard.pool.acquire() as db:
-                per_shard[str(shard.index)] = db.num_lines
+        """Liveness: every shard answers a trivial query on some replica.
+
+        A shard with no healthy replica degrades the status (its line
+        count reads ``null``) instead of failing the probe -- the
+        service is still serving every other shard.
+        """
+        per_shard: dict[str, int | None] = {}
+        replica_health: dict[str, dict[str, int]] = {}
+        degraded = False
+        for index in range(self.num_shards):
+            shard = self.pool.shard(index)
+            try:
+                per_shard[str(index)] = self._replica_read(
+                    index, "health", lambda db: db.num_lines
+                )
+            except ReplicaUnavailable:
+                per_shard[str(index)] = None
+                degraded = True
+            replica_health[str(index)] = {
+                "healthy": len(shard.replicas.healthy()),
+                "attached": len(shard.replicas),
+            }
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "db": self.shard_dir,
             "num_shards": self.num_shards,
-            "lines": sum(per_shard.values()),
+            "lines": sum(n for n in per_shard.values() if n is not None),
             "shard_lines": per_shard,
+            "replicas": replica_health,
             "uptime_s": self.metrics.uptime_s,
         }
 
     def stats(self) -> dict[str, object]:
-        """Operational snapshot: per-shard db/pool plus shared registries."""
+        """Operational snapshot: per-shard db/pool/replicas plus registries."""
         from ..db.engine import APPROACHES
 
         shard_stats = []
         for shard, pool_stat in zip(self.pool.shards, self.pool.stats()):
-            with shard.pool.acquire() as db:
-                pool_stat = {
-                    **pool_stat,
+            def describe(db: StaccatoDB) -> dict[str, object]:
+                return {
                     "lines": db.num_lines,
                     "storage_bytes": {
                         a: db.storage_bytes(a) for a in APPROACHES
                     },
                 }
-            shard_stats.append(pool_stat)
+            try:
+                described = self._replica_read(shard.index, "stats", describe)
+            except ReplicaUnavailable:
+                described = {"lines": None, "storage_bytes": None}
+            shard_stats.append({**pool_stat, **described})
         return {
             "db": {
                 "shard_dir": self.shard_dir,
                 "num_shards": self.num_shards,
                 "range_width": self.range_width,
-                "lines": sum(s["lines"] for s in shard_stats),
+                "num_replicas": self.pool.num_replicas,
+                "lines": sum(
+                    s["lines"] for s in shard_stats if s["lines"] is not None
+                ),
             },
             "shards": shard_stats,
             "cache": self.cache.stats(),

@@ -26,12 +26,15 @@ __all__ = [
     "SqlRequest",
     "IngestRequest",
     "IndexRequest",
+    "ReplicaRequest",
     "validate_search",
     "validate_sql",
     "validate_ingest",
     "validate_index",
+    "validate_replicas",
     "PLANS",
     "ROUTES",
+    "REPLICA_ACTIONS",
 ]
 
 PLANS = ("filescan", "indexed", "auto")
@@ -44,6 +47,9 @@ INDEX_APPROACHES = ("kmap", "staccato")
 
 #: How a sharded service assigns ingested documents to shards.
 ROUTES = ("range", "round_robin")
+
+#: What ``POST /replicas`` can do to one shard's replica set.
+REPLICA_ACTIONS = ("attach", "detach")
 
 
 class ApiError(Exception):
@@ -92,6 +98,13 @@ class IndexRequest:
     terms: tuple[str, ...]
     approach: str
     shards: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaRequest:
+    action: str
+    shard: int
+    replica: int | None = None
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +207,24 @@ def validate_index(payload: Any) -> IndexRequest:
         approach=_choice(body, "approach", INDEX_APPROACHES, "staccato"),
         shards=_optional_shards(body),
     )
+
+
+def validate_replicas(payload: Any) -> ReplicaRequest:
+    """``POST /replicas`` body -> ReplicaRequest."""
+    body = _mapping(payload)
+    action = body.get("action")
+    if action not in REPLICA_ACTIONS:
+        raise ApiError(
+            400,
+            f"'action' must be one of {list(REPLICA_ACTIONS)}, got {action!r}",
+        )
+    shard = _optional_int(body, "shard", default=None, minimum=0)
+    if shard is None:
+        raise ApiError(400, "'shard' must be an integer shard index")
+    replica = _optional_int(body, "replica", default=None, minimum=0)
+    if action == "detach" and replica is None:
+        raise ApiError(400, "'replica' names which replica to detach")
+    return ReplicaRequest(action=action, shard=shard, replica=replica)
 
 
 def validate_ingest(payload: Any) -> IngestRequest:

@@ -65,6 +65,21 @@ class TestQueryCache:
         cache.put("a", 1)
         assert cache.get("a") is None
 
+    def test_invalidate_where_counts_each_dropped_entry(self):
+        # One sweep dropping three entries must add three to the
+        # counter, not one -- /stats readers compare it against hit
+        # volume, and a per-sweep count would hide the churn.
+        cache = QueryCache(8)
+        for key in ("a1", "a2", "a3", "b1"):
+            cache.put(key, key)
+        dropped = cache.invalidate_where(lambda key: key.startswith("a"))
+        assert dropped == 3
+        assert cache.invalidations == 3
+        assert cache.get("b1") == "b1"
+        # An empty sweep adds nothing.
+        assert cache.invalidate_where(lambda key: False) == 0
+        assert cache.invalidations == 3
+
     def test_stale_generation_put_is_dropped(self):
         # A result computed before an invalidation must not be cached
         # after it (the ingest/search race).

@@ -77,6 +77,17 @@ class TestMergeRanked:
         merged = merge_ranked([(0, a)], num_ans=2)
         assert len(merged) == 2
 
+    def test_full_ties_break_on_shard_index(self):
+        # Two shards each produce a row with identical probability,
+        # DocId and LineNo (re-ingested docs, or plain collisions); the
+        # shard index is the final key, so the merged order is the same
+        # no matter which fan-out leg delivered first.
+        tie = Answer(0, 5, 1, 0.5)
+        forward = merge_ranked([(0, [tie]), (1, [tie])], num_ans=None)
+        reverse = merge_ranked([(1, [tie]), (0, [tie])], num_ans=None)
+        assert forward == reverse
+        assert [shard for shard, _ in forward] == [0, 1]
+
 
 class TestShardSelectPlan:
     def test_avg_needs_count_and_sum(self):

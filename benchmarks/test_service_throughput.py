@@ -10,11 +10,22 @@ req/s on CI hardware.
 The failover bench is the availability counterpart: 2 shards x 2
 replicas, one replica file deleted while the load is running; the bar
 is zero client-visible errors in every window.
+
+The rebalance bench is the maintenance counterpart: a background
+``rebalance`` job moves a DocId range between two live shards while
+the load runs; the bar is zero client-visible errors in every window
+*and* merged ranked answers byte-identical before/after the move.
 """
 
 from __future__ import annotations
 
-from repro.bench.service_load import run_failover_demo, run_sharded_comparison
+import pytest
+
+from repro.bench.service_load import (
+    run_failover_demo,
+    run_rebalance_demo,
+    run_sharded_comparison,
+)
 
 
 def test_service_throughput_single_vs_sharded(report):
@@ -98,3 +109,47 @@ def test_failover_kill_replica_mid_load(report):
         census["healthy"] == census["attached"]
         for census in demo.healthy_after.values()
     )
+
+
+@pytest.mark.slow
+def test_rebalance_under_load(report):
+    # The full-leg acceptance bar of the rebalance job: a DocId range
+    # moves between two live shards mid-load with zero client-visible
+    # errors, and the merged ranked answers are byte-identical before
+    # vs after the move on the placement-independent projection.
+    demo = run_rebalance_demo(
+        num_shards=2,
+        docs=6,
+        lines=3,
+        concurrency=8,
+        repeats=10,
+        k=4,
+        m=6,
+    )
+    rows = [
+        [
+            phase,
+            f"{result.throughput_rps:.1f}",
+            f"{result.latency_p50_ms:.1f}",
+            f"{result.latency_p95_ms:.1f}",
+            f"{result.latency_p99_ms:.1f}",
+            result.errors,
+        ]
+        for phase, result in [
+            ("before", demo.before),
+            ("during", demo.during),
+            ("after", demo.after),
+        ]
+    ]
+    report.table(
+        "Service rebalance move a DocId range between shards mid-load",
+        ["phase", "req/s", "p50 ms", "p95 ms", "p99 ms", "errors"],
+        rows,
+    )
+    assert demo.job_state == "succeeded"
+    assert demo.moved_docs > 0 and demo.moved_lines > 0
+    assert demo.zero_downtime, (demo.before, demo.during, demo.after)
+    assert demo.answers_identical
+    # The whole stripe really changed hands.
+    assert demo.lines_after["0"] == 0
+    assert demo.lines_after["1"] == demo.corpus_lines

@@ -13,7 +13,11 @@ Mirrors examples/quickstart.py for the serving path, in two acts:
    (:mod:`repro.service.shards`): ``/ingest`` routes each document to
    its owning shard, ``/search`` fans out and merges the ranking
    (answers carry their source shard), and a shard-scoped query hits
-   only one shard.
+   only one shard.  Background jobs ride along: the index rebuild runs
+   as a polled ``rebuild_index`` job (:func:`submit_and_poll`, the
+   canonical ``POST /jobs`` + ``GET /jobs/<id>`` loop), then a
+   ``rebalance`` job moves a DocId range between the live shards and
+   the merged ranking comes back unchanged.
 
 Every response is checked; any HTTP error exits non-zero, so CI can run
 this file as a smoke test of the README quickstart.
@@ -23,6 +27,7 @@ Run:  PYTHONPATH=src python examples/service_client.py
 
 import sys
 import tempfile
+import time
 
 from repro.bench.report import format_table
 from repro.bench.service_load import get_json, post_json
@@ -34,9 +39,11 @@ class ServiceError(RuntimeError):
     """An endpoint answered with an error status."""
 
 
-def checked_post(base_url: str, path: str, payload: dict) -> dict:
+def checked_post(
+    base_url: str, path: str, payload: dict, expect: int = 200
+) -> dict:
     status, reply = post_json(base_url, path, payload)
-    if status != 200:
+    if status != expect:
         raise ServiceError(f"POST {path} -> {status}: {reply}")
     return reply
 
@@ -46,6 +53,40 @@ def checked_get(base_url: str, path: str) -> dict:
     if status != 200:
         raise ServiceError(f"GET {path} -> {status}: {reply}")
     return reply
+
+
+def submit_and_poll(
+    base_url: str,
+    job_type: str,
+    params: dict | None = None,
+    timeout_s: float = 60.0,
+    poll_s: float = 0.05,
+) -> dict:
+    """Submit a background job and poll it to a terminal state.
+
+    The canonical client loop for the job API: ``POST /jobs`` answers
+    202 with the queued job row; ``GET /jobs/<id>`` reports state and
+    progress until the job lands in ``succeeded`` / ``failed`` /
+    ``cancelled``.  Returns the terminal row; raises on failure.
+    """
+    job = checked_post(
+        base_url,
+        "/jobs",
+        {"type": job_type, "params": params or {}},
+        expect=202,
+    )
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        row = checked_get(base_url, f"/jobs/{job['id']}")
+        if row["state"] not in ("queued", "running"):
+            if row["state"] != "succeeded":
+                raise ServiceError(
+                    f"job {row['id']} ({job_type}) {row['state']}: "
+                    f"{row['error']}"
+                )
+            return row
+        time.sleep(poll_s)
+    raise ServiceError(f"job {job['id']} ({job_type}) never finished")
 
 
 def batch_payload(corpus) -> dict:
@@ -90,13 +131,17 @@ def single_database_demo(tmp: str, corpus) -> None:
               f"from corpus {reply['dataset']!r} "
               f"in {reply['elapsed_s']:.1f}s\n")
 
+        # /index is a rebuild_index background job now; "wait": true
+        # keeps the synchronous response shape (plus the job id).
         reply = checked_post(
             running.base_url,
             "/index",
-            {"terms": ["public", "law", "congress", "president"]},
+            {"terms": ["public", "law", "congress", "president"],
+             "wait": True},
         )
         print(f"POST /index -> {reply['postings']} postings over "
-              f"{reply['terms']} terms (pool reloaded: {reply['reloaded']})\n")
+              f"{reply['terms']} terms (pool reloaded: {reply['reloaded']}, "
+              f"job {reply['job_id']})\n")
 
         query = {"pattern": "%President%", "approach": "staccato", "num_ans": 5}
         reply = checked_post(running.base_url, "/search", query)
@@ -150,14 +195,16 @@ def sharded_demo(tmp: str, corpus) -> None:
         )
         print(f"POST /ingest -> routed by DocId range ({routed})\n")
 
-        reply = checked_post(
+        # The same rebuild as a polled background job: submit via
+        # POST /jobs, watch GET /jobs/<id> until it succeeds.
+        row = submit_and_poll(
             running.base_url,
-            "/index",
+            "rebuild_index",
             {"terms": ["public", "law", "congress", "president"]},
         )
-        print(f"POST /index -> per-shard rebuild: "
+        print(f"rebuild_index job {row['id']} -> per-shard rebuild: "
               + ", ".join(f"shard {i}: {s['postings']} postings"
-                          for i, s in sorted(reply["shards"].items()))
+                          for i, s in sorted(row["result"]["shards"].items()))
               + "\n")
 
         query = {"pattern": "%President%", "approach": "staccato", "num_ans": 5}
@@ -171,6 +218,32 @@ def sharded_demo(tmp: str, corpus) -> None:
         reply = checked_post(running.base_url, "/search", scoped)
         print(f"\nsame query scoped to shard 0 -> {reply['count']} answers "
               f"from shards {reply['shards']}\n")
+
+        # Online rebalance: move shard 0's DocId range to shard 1 while
+        # the service keeps serving; the merged ranking is unchanged on
+        # the placement-independent projection (line ids are
+        # shard-local, shard tags legitimately change hands).
+        before = checked_post(running.base_url, "/search", query)
+        row = submit_and_poll(
+            running.base_url,
+            "rebalance",
+            {"doc_lo": 0, "doc_hi": 1, "source": 0, "target": 1},
+        )
+        moved = row["result"]
+        print(f"rebalance job {row['id']} -> moved "
+              f"{moved['moved_docs']} docs / {moved['moved_lines']} lines "
+              f"from shard {moved['source']} to shard {moved['target']}")
+        after = checked_post(running.base_url, "/search", query)
+        same = [
+            (a["doc_id"], a["line_no"], a["probability"])
+            for a in before["answers"]
+        ] == [
+            (a["doc_id"], a["line_no"], a["probability"])
+            for a in after["answers"]
+        ]
+        if not same:
+            raise ServiceError("answers changed across the rebalance")
+        print("merged answers identical before/after the move: True\n")
 
         health = checked_get(running.base_url, "/health")
         print(f"GET /health -> {health['status']}, "

@@ -1,10 +1,18 @@
 #!/usr/bin/env python3
-"""Fail CI when README.md / docs/*.md contain broken relative links.
+"""Fail CI when the docs drift from reality.
 
-Checks every markdown link and image target in the repo's documentation
-set.  External URLs (any scheme) and pure in-page anchors are skipped;
-relative targets must resolve to an existing file or directory from the
-linking file's location.  Exits 1 listing every broken link.
+Two checks:
+
+1. **Relative links** -- every markdown link and image target in
+   README.md / docs/*.md must resolve to an existing file or directory
+   (external URLs and in-page anchors are skipped).
+2. **HTTP endpoints** -- every ``METHOD /path`` named in docs/API.md
+   must have a handler registered in the route tables of
+   ``src/repro/service/server.py`` (exact routes like ``POST /jobs``,
+   or prefix routes like ``GET /jobs/<id>``).  Documenting an endpoint
+   the server does not serve is exactly the drift this catches.
+
+Exits 1 listing every broken link / undocumented-but-served mismatch.
 
 Run:  python scripts/check_docs_links.py
 """
@@ -52,14 +60,66 @@ def check_file(path: pathlib.Path) -> list[str]:
     return broken
 
 
+#: ``METHOD /path`` mentions in the API reference (tables, headings,
+#: prose).  ``<id>``-style placeholders mark prefix-routed endpoints.
+ENDPOINT = re.compile(r"\b(GET|POST|PUT|PATCH|DELETE)\s+(/[A-Za-z0-9_/<>-]+)")
+
+#: Route tables in server.py: ``GET_ROUTES = {...}`` holds exact paths,
+#: ``GET_ARG_ROUTES = {...}`` holds prefixes whose trailing segment is
+#: passed to the handler (documented as ``/jobs/<id>``).
+ROUTE_TABLE = re.compile(
+    r"^(GET|POST|PUT|PATCH|DELETE)_(ARG_)?ROUTES(?:\s*:[^=]+)?\s*=\s*\{(.*?)\}",
+    re.MULTILINE | re.DOTALL,
+)
+ROUTE_PATH = re.compile(r"\"(/[^\"]*)\"\s*:")
+
+
+def server_routes() -> dict[str, tuple[set[str], set[str]]]:
+    """Per method: the exact paths and argument prefixes server.py serves."""
+    source = (
+        REPO_ROOT / "src" / "repro" / "service" / "server.py"
+    ).read_text()
+    routes: dict[str, tuple[set[str], set[str]]] = {}
+    for method, is_prefix, body in ROUTE_TABLE.findall(source):
+        exact, prefixes = routes.setdefault(method, (set(), set()))
+        for path in ROUTE_PATH.findall(body):
+            (prefixes if is_prefix else exact).add(path)
+    return routes
+
+
+def check_endpoints() -> list[str]:
+    """Every endpoint docs/API.md names must be registered in server.py."""
+    api = REPO_ROOT / "docs" / "API.md"
+    if not api.is_file():
+        return []
+    routes = server_routes()
+    problems = []
+    for method, path in sorted(set(ENDPOINT.findall(api.read_text()))):
+        exact, prefixes = routes.get(method, (set(), set()))
+        if "<" in path:
+            prefix = path.split("<", 1)[0]
+            served = prefix in prefixes
+        else:
+            served = path in exact or any(
+                path.startswith(prefix) for prefix in prefixes
+            )
+        if not served:
+            problems.append(
+                f"docs/API.md: endpoint {method} {path} has no handler "
+                "registered in src/repro/service/server.py"
+            )
+    return problems
+
+
 def main() -> int:
     files = doc_files()
     broken = [problem for path in files for problem in check_file(path)]
+    broken += check_endpoints()
     for problem in broken:
         print(problem, file=sys.stderr)
     print(
-        f"checked {len(files)} markdown files: "
-        f"{'OK' if not broken else f'{len(broken)} broken links'}"
+        f"checked {len(files)} markdown files + docs/API.md endpoints: "
+        f"{'OK' if not broken else f'{len(broken)} problems'}"
     )
     return 1 if broken else 0
 

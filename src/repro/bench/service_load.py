@@ -37,6 +37,16 @@ zero client-visible errors (every request that hit the dead replica is
 retried transparently on a sibling), and the after window runs with
 the replica detached and a fresh copy re-attached via ``POST
 /replicas``.
+
+A fourth *rebalance mode* (``--mode rebalance``,
+:func:`run_rebalance_demo`) measures online shard maintenance: it
+submits a ``rebalance`` background job (``POST /jobs``) that moves a
+DocId range from one live shard to another **while a search load is
+running**, then verifies the acceptance bar -- zero client-visible
+errors in every window and merged ranked answers byte-identical before
+vs after the move (compared on the placement-independent projection
+``(doc_id, line_no, probability)``; line ids are shard-local and the
+answers' shard tags legitimately change hands).
 """
 
 from __future__ import annotations
@@ -58,11 +68,13 @@ __all__ = [
     "LoadResult",
     "ShardedComparison",
     "FailoverDemo",
+    "RebalanceDemo",
     "post_json",
     "get_json",
     "run_search_load",
     "run_sharded_comparison",
     "run_failover_demo",
+    "run_rebalance_demo",
     "main",
 ]
 
@@ -487,6 +499,231 @@ def run_failover_demo(
     )
 
 
+# ----------------------------------------------------------------------
+# Rebalance mode: move a DocId range between two live shards while a
+# search load runs; answers must come back identical and error-free.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class RebalanceDemo:
+    """One rebalance-under-load run and its acceptance evidence."""
+
+    num_shards: int
+    corpus_lines: int
+    doc_lo: int
+    doc_hi: int
+    source: int
+    target: int
+    moved_docs: int
+    moved_lines: int
+    job_state: str
+    before: LoadResult
+    during: LoadResult
+    after: LoadResult
+    answers_identical: bool
+    lines_before: dict[str, int]
+    lines_after: dict[str, int]
+
+    @property
+    def zero_downtime(self) -> bool:
+        """No client-visible error in any window (the acceptance bar)."""
+        return (
+            self.before.errors == 0
+            and self.during.errors == 0
+            and self.after.errors == 0
+        )
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.zero_downtime
+            and self.answers_identical
+            and self.job_state == "succeeded"
+        )
+
+    def report(self) -> str:
+        headers = ["phase", "req/s", "p50 ms", "p95 ms", "p99 ms", "errors"]
+        rows = [
+            ("before", self.before),
+            ("during", self.during),
+            ("after", self.after),
+        ]
+        lines = ["  ".join(f"{h:>10s}" for h in headers)]
+        for name, result in rows:
+            lines.append(
+                "  ".join(
+                    f"{cell:>10}"
+                    for cell in (
+                        name,
+                        f"{result.throughput_rps:.1f}",
+                        f"{result.latency_p50_ms:.1f}",
+                        f"{result.latency_p95_ms:.1f}",
+                        f"{result.latency_p99_ms:.1f}",
+                        str(result.errors),
+                    )
+                )
+            )
+        lines.append("")
+        lines.append(
+            f"rebalance job ({self.job_state}): moved DocIds "
+            f"[{self.doc_lo}, {self.doc_hi}] = {self.moved_docs} docs / "
+            f"{self.moved_lines} lines, shard {self.source} -> "
+            f"shard {self.target}, submitted mid-load (during window)"
+        )
+        lines.append(
+            "shard line counts before the move: "
+            + ", ".join(
+                f"shard {s}: {n}" for s, n in sorted(self.lines_before.items())
+            )
+        )
+        lines.append(
+            "shard line counts after the move:  "
+            + ", ".join(
+                f"shard {s}: {n}" for s, n in sorted(self.lines_after.items())
+            )
+        )
+        lines.append(
+            "merged ranked answers byte-identical before/after the move "
+            f"(doc_id, line_no, probability): {self.answers_identical}"
+        )
+        lines.append(
+            f"zero client-visible errors across all windows: "
+            f"{self.zero_downtime}"
+        )
+        return "\n".join(lines)
+
+
+def _ranked_projection(
+    base_url: str, patterns: Sequence[str], num_ans: int
+) -> str:
+    """The placement-independent bytes of every pattern's ranked answers."""
+    captured = []
+    for pattern in patterns:
+        status, reply = post_json(
+            base_url, "/search", {"pattern": pattern, "num_ans": num_ans}
+        )
+        if status != 200:
+            raise RuntimeError(f"baseline search failed: {reply}")
+        captured.append(
+            [
+                [a["doc_id"], a["line_no"], round(a["probability"], 12)]
+                for a in reply["answers"]
+            ]
+        )
+    return json.dumps(captured)
+
+
+def run_rebalance_demo(
+    num_shards: int = 2,
+    docs: int = 6,
+    lines: int = 3,
+    patterns: Sequence[str] = tuple(DEFAULT_PATTERNS),
+    approach: str = "staccato",
+    concurrency: int = 8,
+    repeats: int = 8,
+    num_ans: int = 50,
+    k: int = 4,
+    m: int = 6,
+    source: int = 0,
+    target: int = 1,
+    submit_after_s: float = 0.05,
+    poll_timeout_s: float = 120.0,
+) -> RebalanceDemo:
+    """Move shard ``source``'s whole DocId stripe to ``target`` mid-load.
+
+    ``range_width = docs // num_shards`` parks DocIds ``[0,
+    range_width - 1]`` on shard 0, so moving that range empties the
+    source's stripe into the target.  The result cache is disabled so
+    every during-window request really fans out and exercises the
+    copy/swap/delete phases (de-duplicating merge, routing-table
+    publish) rather than serving from memory.
+    """
+    import threading
+
+    from ..ocr.corpus import make_ca
+    from ..service import start_sharded_service
+
+    corpus = make_ca(num_docs=docs, lines_per_doc=lines, seed=1)
+    range_width = max(1, docs // num_shards)
+    doc_lo, doc_hi = 0, range_width - 1
+    load_kwargs = dict(
+        approach=approach,
+        num_ans=num_ans,
+        concurrency=concurrency,
+        repeats=repeats,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        running = start_sharded_service(
+            f"{tmp}/shards",
+            num_shards,
+            k=k,
+            m=m,
+            pool_size=2,
+            cache_size=0,
+            range_width=range_width,
+        )
+        base = running.base_url
+        try:
+            _ingest_over_http(base, corpus)
+            _, health = get_json(base, "/health")
+            lines_before = dict(health["shard_lines"])
+            baseline = _ranked_projection(base, patterns, num_ans)
+            before = run_search_load(base, list(patterns), **load_kwargs)
+
+            job_row: dict = {}
+
+            def submit_and_wait() -> None:
+                # "wait": true blocks server-side until the job is
+                # terminal, so no client-side poll loop is needed.
+                status, row = post_json(
+                    base,
+                    "/jobs",
+                    {
+                        "type": "rebalance",
+                        "params": {
+                            "doc_lo": doc_lo,
+                            "doc_hi": doc_hi,
+                            "source": source,
+                            "target": target,
+                        },
+                        "wait": True,
+                    },
+                    timeout=poll_timeout_s,
+                )
+                if status != 200:
+                    job_row.update(state=f"submit failed: {row}")
+                    return
+                job_row.update(row)
+
+            timer = threading.Timer(submit_after_s, submit_and_wait)
+            timer.start()
+            during = run_search_load(base, list(patterns), **load_kwargs)
+            timer.join()  # Timer.join waits for the callback to finish
+            after = run_search_load(base, list(patterns), **load_kwargs)
+            final = _ranked_projection(base, patterns, num_ans)
+            _, health = get_json(base, "/health")
+            lines_after = dict(health["shard_lines"])
+        finally:
+            running.stop()
+    result = job_row.get("result") or {}
+    return RebalanceDemo(
+        num_shards=num_shards,
+        corpus_lines=corpus.num_lines,
+        doc_lo=doc_lo,
+        doc_hi=doc_hi,
+        source=source,
+        target=target,
+        moved_docs=result.get("moved_docs", 0),
+        moved_lines=result.get("moved_lines", 0),
+        job_state=str(job_row.get("state", "never submitted")),
+        before=before,
+        during=during,
+        after=after,
+        answers_identical=baseline == final,
+        lines_before=lines_before,
+        lines_after=lines_after,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI for the sharded-throughput and replica-failover reports."""
     parser = argparse.ArgumentParser(
@@ -495,9 +732,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=("compare", "failover"),
+        choices=("compare", "failover", "rebalance"),
         default="compare",
-        help="compare: single-db vs shards; failover: kill a replica mid-load",
+        help="compare: single-db vs shards; failover: kill a replica "
+        "mid-load; rebalance: move a DocId range between live shards "
+        "mid-load",
     )
     parser.add_argument("--shards", type=int, default=2)
     parser.add_argument("--replicas", type=int, default=2,
@@ -514,7 +753,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="report path ('-' prints only; default depends on --mode)",
     )
     args = parser.parse_args(argv)
-    if args.mode == "failover":
+    if args.mode == "rebalance":
+        demo = run_rebalance_demo(
+            num_shards=args.shards,
+            docs=args.docs,
+            lines=args.lines,
+            concurrency=args.concurrency,
+            repeats=args.repeats,
+            k=args.k,
+            m=args.m,
+        )
+        title = (
+            f"online rebalance: {demo.corpus_lines}-line corpus, "
+            f"{demo.num_shards} shards, DocIds [{demo.doc_lo}, "
+            f"{demo.doc_hi}] moved shard {demo.source} -> {demo.target} "
+            "mid-load"
+        )
+        text = f"{title}\n{demo.report()}\n"
+        out_default = "benchmarks/reports/service_rebalance_under_load.txt"
+        failed = not demo.passed
+    elif args.mode == "failover":
         demo = run_failover_demo(
             num_shards=args.shards,
             replicas=args.replicas,

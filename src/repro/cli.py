@@ -17,6 +17,7 @@ Examples::
     python -m repro serve --db /tmp/ca.db --port 8080
     python -m repro serve --shards 4 --shard-dir /tmp/shards --port 8080
     python -m repro serve --shards 2 --replicas 2 --shard-dir /tmp/shards
+    python -m repro serve --db /tmp/ca.db --workers 4 --warm-start
 
 ``serve`` starts the concurrent query service of :mod:`repro.service`:
 a threaded JSON-over-HTTP server exposing ``POST /ingest`` (atomic
@@ -30,8 +31,11 @@ API is served by the shard router of :mod:`repro.service.shards`:
 documents partition across N StaccatoDB files by DocId range, queries
 fan out and merge.  ``--replicas R`` keeps R read copies of every
 shard with circuit-breaker failover (``POST /replicas`` attaches or
-detaches copies at runtime).  The installed console script
-``staccato`` is an alias for this module's ``main``.
+detaches copies at runtime).  ``--workers N`` sizes the background job
+pool (``POST /jobs``: shard ``rebalance``, ``rebuild_index``,
+``cache_snapshot``) and ``--warm-start`` replays the last cache
+snapshot so a restart does not begin cold.  The installed console
+script ``staccato`` is an alias for this module's ``main``.
 """
 
 from __future__ import annotations
@@ -177,6 +181,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --replicas needs a sharded service (--shards)",
               file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     serve_forever(
         args.db,
         host=args.host,
@@ -185,11 +192,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_dir=args.shard_dir,
         replicas=args.replicas,
+        warm_start=args.warm_start,
         k=args.k,
         m=args.m,
         pool_size=args.pool_size,
         cache_size=args.cache_size,
         index_approach=args.index_approach,
+        workers=args.workers,
     )
     return 0
 
@@ -269,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory holding the shard-NNNN.db files")
     serve.add_argument("--replicas", type=int, default=1,
                        help="read replicas per shard (sharded mode only)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="background job worker threads (POST /jobs)")
+    serve.add_argument("--warm-start", action="store_true",
+                       help="reload the last cache_snapshot job's output "
+                            "so the result cache does not start cold")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 picks a free one)")

@@ -196,10 +196,18 @@ class StaccatoDB:
         )
         answers = []
         for data_key in keys:
-            prob = self._probability_with_query(query, approach, data_key)
-            if prob <= 0.0:
+            try:
+                prob = self._probability_with_query(query, approach, data_key)
+                if prob <= 0.0:
+                    continue
+                doc_id, line_no = storage.line_metadata(self.conn, data_key)
+            except KeyError:
+                # The line vanished between the key listing and its
+                # evaluation -- a concurrent delete committed (e.g. a
+                # rebalance moved it to another shard after copying it
+                # there).  It is no longer part of this file's relation;
+                # autocommit readers see each statement's latest state.
                 continue
-            doc_id, line_no = storage.line_metadata(self.conn, data_key)
             answers.append(
                 Answer(
                     line_id=data_key,
@@ -344,14 +352,23 @@ class StaccatoDB:
         query = compile_like(like)
         answers = []
         for data_key, postings in candidates.items():
-            if approach == "staccato" and use_projection:
-                graph = storage.load_staccato(self.conn, data_key)
-                prob = projected_match_probability(graph, query, postings, window)
-            else:
-                prob = self._probability_with_query(query, approach, data_key)
-            if prob <= 0.0:
+            try:
+                if approach == "staccato" and use_projection:
+                    graph = storage.load_staccato(self.conn, data_key)
+                    prob = projected_match_probability(
+                        graph, query, postings, window
+                    )
+                else:
+                    prob = self._probability_with_query(
+                        query, approach, data_key
+                    )
+                if prob <= 0.0:
+                    continue
+                doc_id, line_no = storage.line_metadata(self.conn, data_key)
+            except KeyError:
+                # Candidate deleted since the posting lookup (see the
+                # filescan plan's identical guard).
                 continue
-            doc_id, line_no = storage.line_metadata(self.conn, data_key)
             answers.append(
                 Answer(
                     line_id=data_key,

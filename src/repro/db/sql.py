@@ -36,7 +36,9 @@ __all__ = [
     "parse_select",
     "execute_select",
     "shard_select",
+    "shard_select_rows",
     "merge_shard_rows",
+    "aggregate_full_rows",
 ]
 
 DOC_COLUMNS = {"docid", "docname", "year", "loss"}
@@ -411,6 +413,57 @@ def shard_select(parsed: ParsedSelect) -> ParsedSelect:
         order_by=None,
         limit=None,
     )
+
+
+def shard_select_rows(parsed: ParsedSelect) -> ParsedSelect:
+    """The rebalance-safe per-shard plan: always full document rows.
+
+    While a shard rebalance is mid-flight a document's rows may briefly
+    exist on two shards (copied to the target, not yet deleted from the
+    source).  Per-shard *scalar* aggregates cannot be de-duplicated
+    after the fact, so during a move the router asks every shard for
+    the full per-document relation instead, de-duplicates by DocId
+    (copies are byte-identical), and computes aggregates itself with
+    :func:`aggregate_full_rows`.
+    """
+    return ParsedSelect(
+        columns=["*"],
+        table=parsed.table,
+        scalar_predicates=list(parsed.scalar_predicates),
+        like_patterns=list(parsed.like_patterns),
+        aggregates=[],
+        order_by=None,
+        limit=None,
+    )
+
+
+def aggregate_full_rows(
+    parsed: ParsedSelect, rows: list[dict[str, object]]
+) -> list[dict[str, object]]:
+    """Expected aggregates recomputed at the router from full rows.
+
+    Mirrors the aggregate arm of :func:`execute_select`: the expected
+    COUNT is the sum of document probabilities, expected SUM weights
+    each document's column by its probability, AVG is their ratio.
+    """
+    expected_count = sum(float(row["Probability"]) for row in rows)  # type: ignore[arg-type]
+    result: dict[str, object] = {}
+    for func, argument in parsed.aggregates:
+        if func == "count":
+            result["COUNT(*)"] = expected_count
+            continue
+        actual = CANONICAL_COLUMNS[argument.lower()]
+        expected_sum = sum(
+            float(row["Probability"]) * float(row[actual])  # type: ignore[arg-type]
+            for row in rows
+        )
+        if func == "sum":
+            result[f"SUM({actual})"] = expected_sum
+        else:
+            result[f"AVG({actual})"] = (
+                expected_sum / expected_count if expected_count else 0.0
+            )
+    return [result]
 
 
 def _aggregate_key(func: str, argument: str) -> str:

@@ -64,6 +64,15 @@ query retries transparently on a sibling, and ``POST /replicas``
 attaches/detaches copies at runtime.  See :mod:`repro.service.shards`,
 :mod:`repro.service.replicas` and ``docs/API.md``.
 
+``POST /jobs`` / ``GET /jobs`` / ``GET /jobs/<id>`` / ``DELETE
+/jobs/<id>``
+    The background job engine (:mod:`repro.service.jobs`): submit work
+    by type (``rebalance`` moves a DocId range between live shards,
+    ``rebuild_index`` is the index rebuild off the request path,
+    ``cache_snapshot`` serializes the result cache for ``serve
+    --warm-start``), poll status/progress, cancel cooperatively.  Jobs
+    survive restarts via a JSON journal next to the database.
+
 Errors come back as ``{"error": {"code": ..., "message": ...}}`` with
 a 4xx/5xx status.
 
@@ -79,12 +88,14 @@ thread-safe LRU :class:`~repro.service.cache.QueryCache` keyed on
 
 from .app import QueryService
 from .cache import QueryCache
+from .jobs import Job, JobCancelled, JobEngine, JobType
 from .metrics import ServiceMetrics
 from .pool import ConnectionPool, PoolClosed
 from .replicas import (
     CircuitBreaker,
     ReplicaSet,
     ReplicaUnavailable,
+    ordered_locks,
     replica_path,
 )
 from .server import (
@@ -94,7 +105,12 @@ from .server import (
     start_service,
     start_sharded_service,
 )
-from .shards import ShardedPool, ShardedQueryService, shard_for_doc
+from .shards import (
+    RoutingTable,
+    ShardedPool,
+    ShardedQueryService,
+    shard_for_doc,
+)
 from .validation import ApiError
 
 __all__ = [
@@ -102,10 +118,16 @@ __all__ = [
     "ShardedQueryService",
     "ShardedPool",
     "shard_for_doc",
+    "RoutingTable",
     "CircuitBreaker",
     "ReplicaSet",
     "ReplicaUnavailable",
     "replica_path",
+    "ordered_locks",
+    "Job",
+    "JobCancelled",
+    "JobEngine",
+    "JobType",
     "QueryCache",
     "ServiceMetrics",
     "ConnectionPool",

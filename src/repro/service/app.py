@@ -17,6 +17,8 @@ JSON shim.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 
@@ -27,7 +29,8 @@ from ..db.sql import SqlError, execute_select
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer
 from ..query.like import compile_like
-from .cache import QueryCache
+from .cache import QueryCache, key_from_json, key_to_json
+from .jobs import Job, JobEngine, JobsApi, atomic_write_json
 from .metrics import ServiceMetrics
 from .pool import ConnectionPool
 from .validation import (
@@ -59,6 +62,28 @@ def check_pattern(pattern: str) -> None:
         compile_like(pattern)
     except RegexError as exc:
         raise ApiError(400, str(exc), code="bad_pattern") from exc
+
+
+def index_fingerprint(db: StaccatoDB) -> list:
+    """A cheap digest of the persisted dictionary index.
+
+    Line counts alone cannot tell a warm start that ``POST /index`` ran
+    between snapshot and restart -- a rebuild changes plan labels and
+    projected evaluations without touching ``MasterData``.  The digest
+    covers the postings (count plus key/offset sums) and the ``IndexMeta``
+    record; a rebuild over different terms or approach changes it, while
+    an identical rebuild (deterministic postings) legitimately keeps
+    cached results valid.  Shaped as nested lists so it JSON round-trips
+    comparably.
+    """
+    totals = db.conn.execute(
+        "SELECT COUNT(*), COALESCE(SUM(DataKey), 0), COALESCE(SUM(Offset), 0) "
+        "FROM InvertedIndex"
+    ).fetchone()
+    meta = db.conn.execute(
+        "SELECT Key, Value FROM IndexMeta ORDER BY Key"
+    ).fetchall()
+    return [list(totals), [list(row) for row in meta]]
 
 
 def answer_row(answer: Answer) -> dict[str, object]:
@@ -119,7 +144,7 @@ def reject_shard_scope(shards: tuple[int, ...] | None) -> None:
         )
 
 
-class QueryService:
+class QueryService(JobsApi):
     """The StaccatoDB query service over one database file."""
 
     def __init__(
@@ -130,6 +155,7 @@ class QueryService:
         pool_size: int = 4,
         cache_size: int = 256,
         index_approach: str = "staccato",
+        workers: int = 2,
     ) -> None:
         if path == ":memory:":
             raise ValueError(
@@ -152,9 +178,13 @@ class QueryService:
         )
         self.cache = QueryCache(cache_size)
         self.metrics = ServiceMetrics()
+        self.jobs = JobEngine(
+            self, f"{path}.jobs.json", workers=workers, metrics=self.metrics
+        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self.jobs.shutdown()
         self.pool.close()
         self._writer.close()
 
@@ -288,6 +318,90 @@ class QueryService:
         )
 
     # ------------------------------------------------------------------
+    def validate_job_params(self, job_type, params):
+        if job_type == "rebalance":
+            raise ApiError(
+                400,
+                "this service is not sharded; rebalance jobs belong to a "
+                "service started with --shards",
+                code="not_sharded",
+            )
+        if job_type == "rebuild_index":
+            # One parse covers both checks (shape and shard scope);
+            # skip the base class's second validate_index pass.
+            reject_shard_scope(validate_index(params).shards)
+            return dict(params)
+        return super().validate_job_params(job_type, params)
+
+    @property
+    def snapshot_path(self) -> str:
+        """The warm-start sidecar the ``cache_snapshot`` job writes."""
+        return f"{self.path}.cache.json"
+
+    def job_cache_snapshot(self, job: Job, params) -> dict[str, object]:
+        """Runner: serialize the query cache for the next warm start.
+
+        The snapshot records the line count it was taken at; a warm
+        start only replays it when the database still has that many
+        lines (any write in between means the cached results describe a
+        different relation, so the whole snapshot is stale).
+        """
+        job.check_cancelled()
+        with self.pool.acquire() as db:
+            lines = db.num_lines
+            index = index_fingerprint(db)
+        entries = self.cache.export_entries()
+        payload = {
+            "kind": "single",
+            "db": self.path,
+            "lines": lines,
+            "index": index,
+            "created_at": time.time(),
+            "entries": [
+                [key_to_json(key), value] for key, value in entries
+            ],
+        }
+        size = atomic_write_json(self.snapshot_path, payload)
+        job.update(progress=1.0, entries=len(entries), bytes=size)
+        return {
+            "path": self.snapshot_path,
+            "entries": len(entries),
+            "bytes": size,
+        }
+
+    def warm_start(self) -> int:
+        """Reload the last ``cache_snapshot`` (``serve --warm-start``).
+
+        Returns the number of entries restored; 0 when there is no
+        snapshot, it belongs to another database, or the data has moved
+        on since it was taken (stale snapshots are dropped whole --
+        cheaper to recompute than to risk serving pre-write answers).
+        """
+        if not os.path.exists(self.snapshot_path):
+            return 0
+        # A snapshot that cannot be parsed -- or is structurally off in
+        # any way -- is dropped whole: warm starting is best-effort and
+        # must never keep the service from coming up.
+        try:
+            with open(self.snapshot_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("kind") != "single" or data.get("db") != self.path:
+                return 0
+            with self.pool.acquire() as db:
+                if db.num_lines != data.get("lines"):
+                    return 0
+                if index_fingerprint(db) != data.get("index"):
+                    return 0  # an index rebuild invalidated the entries
+            entries = [
+                (key_from_json(key), value)
+                for key, value in data.get("entries", [])
+            ]
+        except (OSError, json.JSONDecodeError, ValueError, TypeError,
+                KeyError, AttributeError):
+            return 0
+        return self.cache.load_entries(entries)
+
+    # ------------------------------------------------------------------
     def health(self) -> dict[str, object]:
         """Liveness: the database answers a trivial query."""
         with self.pool.acquire() as db:
@@ -308,6 +422,7 @@ class QueryService:
             "db": {"path": self.path, "lines": lines, "storage_bytes": storage},
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
+            "jobs": self.jobs.stats(),
             "requests": self.metrics.snapshot(),
             "uptime_s": self.metrics.uptime_s,
         }

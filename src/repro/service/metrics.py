@@ -47,6 +47,10 @@ class ServiceMetrics:
         self._replica_counts: dict[tuple[int, int, str], int] = {}
         self._replica_errors: dict[tuple[int, int, str], int] = {}
         self._replica_latencies: dict[tuple[int, int, str], deque[float]] = {}
+        # Background jobs, keyed by job type.
+        self._job_counts: dict[str, int] = {}
+        self._job_errors: dict[str, int] = {}
+        self._job_latencies: dict[str, deque[float]] = {}
         self.started_at = time.monotonic()
 
     def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
@@ -102,6 +106,24 @@ class ServiceMetrics:
                 self._replica_errors[key] = self._replica_errors.get(key, 0) + 1
             ring = self._replica_latencies.setdefault(
                 key, deque(maxlen=self._window)
+            )
+            ring.append(seconds)
+
+    def observe_job(
+        self, job_type: str, seconds: float, error: bool = False
+    ) -> None:
+        """Record one background job's run (worker time, not queue wait).
+
+        Jobs are not HTTP requests -- a rebalance may outlive thousands
+        of them -- so they get their own block in ``snapshot`` instead of
+        skewing the endpoint percentiles.
+        """
+        with self._lock:
+            self._job_counts[job_type] = self._job_counts.get(job_type, 0) + 1
+            if error:
+                self._job_errors[job_type] = self._job_errors.get(job_type, 0) + 1
+            ring = self._job_latencies.setdefault(
+                job_type, deque(maxlen=self._window)
             )
             ring.append(seconds)
 
@@ -163,4 +185,15 @@ class ServiceMetrics:
                         ),
                     }
                 result["replicas"] = replicas
+            if self._job_counts:
+                jobs: dict[str, object] = {}
+                for job_type, count in sorted(self._job_counts.items()):
+                    jobs[job_type] = {
+                        "count": count,
+                        "errors": self._job_errors.get(job_type, 0),
+                        "latency_ms": self._latency_block(
+                            list(self._job_latencies.get(job_type, ()))
+                        ),
+                    }
+                result["jobs"] = jobs
             return result

@@ -31,12 +31,13 @@ Only when every replica of a shard is out does the query fail, as
 
 from __future__ import annotations
 
+import contextlib
 import glob
 import os
 import sqlite3
 import threading
 import time
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from ..db.engine import StaccatoDB
 from .pool import ConnectionPool
@@ -44,11 +45,38 @@ from .pool import ConnectionPool
 __all__ = [
     "DEFAULT_COOLDOWN_S",
     "replica_path",
+    "ordered_locks",
     "CircuitBreaker",
     "Replica",
     "ReplicaSet",
     "ReplicaUnavailable",
 ]
+
+
+@contextlib.contextmanager
+def ordered_locks(
+    *pairs: tuple[int, threading.Lock],
+) -> Iterator[None]:
+    """Hold several keyed locks at once, acquired in ascending key order.
+
+    The serving tier's deadlock-avoidance rule: whenever more than one
+    shard-level lock must be held together (a rebalance pins its source
+    *and* target shard; replica maintenance may pin a shard and its
+    set), every taker sorts by the stable integer key (the shard index)
+    first, so two concurrent multi-lock operations can never wait on
+    each other in a cycle.  Single-lock takers are unaffected -- they
+    hold one lock and always drain.
+    """
+    ordered = sorted(pairs, key=lambda pair: pair[0])
+    held: list[threading.Lock] = []
+    try:
+        for _, lock in ordered:
+            lock.acquire()
+            held.append(lock)
+        yield
+    finally:
+        for lock in reversed(held):
+            lock.release()
 
 #: Seconds an open breaker waits before releasing a half-open probe.
 DEFAULT_COOLDOWN_S = 2.0

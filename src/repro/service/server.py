@@ -38,14 +38,20 @@ __all__ = [
 #: generous while still bounding a misbehaving client.
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
-GET_ROUTES = {"/health": "health", "/stats": "stats"}
+GET_ROUTES = {"/health": "health", "/stats": "stats", "/jobs": "jobs_list"}
 POST_ROUTES = {
     "/ingest": "ingest",
     "/search": "search",
     "/sql": "sql",
-    "/index": "index",
+    "/index": "index_job",
     "/replicas": "replicas",
+    "/jobs": "jobs_submit",
 }
+DELETE_ROUTES: dict[str, str] = {}
+#: Prefix routes: the path segment after the prefix is passed to the
+#: service method as its argument (e.g. ``GET /jobs/<id>``).
+GET_ARG_ROUTES = {"/jobs/": "jobs_get"}
+DELETE_ARG_ROUTES = {"/jobs/": "jobs_cancel"}
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -58,38 +64,76 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     timeout = 60.0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _route(
+        path: str,
+        exact: dict[str, str],
+        by_prefix: dict[str, str] | None = None,
+    ) -> tuple[str, str | None] | None:
+        """Resolve a path to ``(endpoint, arg)`` -- exact first, then
+        prefix routes, whose trailing segment becomes the argument."""
+        endpoint = exact.get(path)
+        if endpoint is not None:
+            return endpoint, None
+        for prefix, endpoint in (by_prefix or {}).items():
+            if path.startswith(prefix) and len(path) > len(prefix):
+                return endpoint, path[len(prefix):]
+        return None
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        endpoint = GET_ROUTES.get(self.path)
-        if endpoint is None:
+        routed = self._route(self.path, GET_ROUTES, GET_ARG_ROUTES)
+        if routed is None:
             self._dispatch_unknown()
             return
-        self._dispatch(endpoint, with_body=False)
+        self._dispatch(routed[0], with_body=False, arg=routed[1])
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        endpoint = POST_ROUTES.get(self.path)
-        if endpoint is None:
+        routed = self._route(self.path, POST_ROUTES)
+        if routed is None:
             self._dispatch_unknown()
             return
-        self._dispatch(endpoint, with_body=True)
+        self._dispatch(routed[0], with_body=True, arg=routed[1])
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        routed = self._route(self.path, DELETE_ROUTES, DELETE_ARG_ROUTES)
+        if routed is None:
+            self._dispatch_unknown()
+            return
+        self._dispatch(routed[0], with_body=False, arg=routed[1])
 
     # ------------------------------------------------------------------
     def _dispatch_unknown(self) -> None:
         known = sorted(GET_ROUTES) + sorted(POST_ROUTES)
+        known += [f"{prefix}<id>" for prefix in sorted(GET_ARG_ROUTES)]
+        known += [f"DELETE {prefix}<id>" for prefix in sorted(DELETE_ARG_ROUTES)]
         error = ApiError(
             404, f"no route for {self.path!r}; endpoints: {known}", "not_found"
         )
         self._finish("unknown", 404, error.to_payload(), time.perf_counter())
 
-    def _dispatch(self, endpoint: str, with_body: bool) -> None:
+    def _dispatch(
+        self, endpoint: str, with_body: bool, arg: str | None = None
+    ) -> None:
         service = self.server.service
         started = time.perf_counter()
         try:
             if with_body:
                 payload = self._read_json()
                 result = getattr(service, endpoint)(payload)
+            elif arg is not None:
+                result = getattr(service, endpoint)(arg)
             else:
                 result = getattr(service, endpoint)()
-            status = 200
+            # A method may return (status, payload) -- e.g. job
+            # submission answers 202 Accepted with the queued job row.
+            if (
+                isinstance(result, tuple)
+                and len(result) == 2
+                and isinstance(result[0], int)
+            ):
+                status, result = result
+            else:
+                status = 200
         except ApiError as exc:
             status, result = exc.status, exc.to_payload()
         except Exception as exc:  # pragma: no cover - defensive boundary
@@ -267,6 +311,7 @@ def serve_forever(
     shards: int = 0,
     shard_dir: str | None = None,
     replicas: int = 1,
+    warm_start: bool = False,
     **service_kwargs,
 ) -> None:
     """Run the service in the foreground until interrupted (CLI path).
@@ -274,6 +319,8 @@ def serve_forever(
     Pass ``db_path`` for the single-database service, or ``shards`` and
     ``shard_dir`` for the shard router of :mod:`repro.service.shards`
     (optionally with ``replicas`` read copies per shard).
+    ``warm_start`` replays the last ``cache_snapshot`` job's output so
+    the restarted service does not begin with a cold result cache.
     """
     if shards > 0:
         if shard_dir is None:
@@ -289,6 +336,9 @@ def serve_forever(
             raise ValueError("replicas need a sharded service (--shards)")
         service = QueryService(db_path, **service_kwargs)
         target = f"db={db_path}"
+    if warm_start:
+        loaded = service.warm_start()
+        print(f"warm start: {loaded} cached result(s) restored")
     server = build_server(service, host=host, port=port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(
@@ -297,7 +347,8 @@ def serve_forever(
     )
     print(
         "endpoints: GET /health, GET /stats, POST /ingest, "
-        "POST /search, POST /sql, POST /index, POST /replicas"
+        "POST /search, POST /sql, POST /index, POST /replicas, "
+        "POST /jobs, GET /jobs, GET /jobs/<id>, DELETE /jobs/<id>"
     )
     try:
         server.serve_forever()

@@ -32,6 +32,17 @@ disjoint subset of the documents:
   out-of-band CLI step required.
 * **``POST /replicas``** -- attaches (online-backup copy of a live
   sibling) or detaches one replica of one shard at runtime.
+* **Online rebalancing** -- a ``rebalance`` background job (see
+  :mod:`repro.service.jobs`) moves one DocId range between two live
+  shards under traffic: rows are copied to the target and its replicas
+  and verified, then ownership flips in a **single atomic publish** of
+  one immutable :class:`RoutingTable` (readers grab the whole table by
+  reference; they can never observe a range owned by both -- or
+  neither -- shard), then the source's rows are deleted and the moved
+  range's cache entries evicted.  While copies transiently exist on two
+  shards, :func:`merge_ranked` de-duplicates by (DocId, LineNo) and
+  ``/sql`` switches to a full-row plan whose aggregates the router
+  recomputes, so answers stay exact through every phase.
 
 :class:`ShardedQueryService` duck-types :class:`~repro.service.app.
 QueryService` (same endpoint methods, same metrics registry), so the
@@ -40,27 +51,46 @@ HTTP layer in :mod:`repro.service.server` serves either unchanged.
 
 from __future__ import annotations
 
+import bisect
+import contextlib
+import json
 import os
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..automata.regex import RegexError
 from ..db.engine import StaccatoDB, shard_paths
-from ..db.sql import SqlError, execute_select, merge_shard_rows, parse_select, shard_select
+from ..db.sql import (
+    SqlError,
+    aggregate_full_rows,
+    execute_select,
+    merge_shard_rows,
+    parse_select,
+    shard_select,
+    shard_select_rows,
+)
 from ..ocr.corpus import Dataset, Document
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer
-from .app import answer_row, check_pattern, run_search_plan
-from .cache import QueryCache
+from .app import answer_row, check_pattern, index_fingerprint, run_search_plan
+from .cache import QueryCache, key_from_json, key_to_json
+from .jobs import Job, JobCancelled, JobEngine, JobsApi, atomic_write_json
 from .metrics import ServiceMetrics
-from .replicas import DEFAULT_COOLDOWN_S, Replica, ReplicaSet, ReplicaUnavailable
+from .replicas import (
+    DEFAULT_COOLDOWN_S,
+    Replica,
+    ReplicaSet,
+    ReplicaUnavailable,
+    ordered_locks,
+)
 from .validation import (
     ApiError,
     validate_index,
     validate_ingest,
+    validate_rebalance_params,
     validate_replicas,
     validate_search,
     validate_sql,
@@ -68,8 +98,10 @@ from .validation import (
 
 __all__ = [
     "DEFAULT_RANGE_WIDTH",
+    "ROUTING_FILE",
     "shard_for_doc",
     "merge_ranked",
+    "RoutingTable",
     "ShardedPool",
     "ShardedQueryService",
 ]
@@ -85,6 +117,23 @@ _OWNER_PROBE_BATCH = 400
 #: In-flight placement entries retained (see ``_placements``).
 _PLACEMENTS_CAP = 65536
 
+#: Where the shard router persists its routing overrides.
+ROUTING_FILE = "routing.json"
+
+#: Sidecar files of the jobs subsystem inside the shard directory.
+JOBS_JOURNAL_FILE = "jobs.json"
+CACHE_SNAPSHOT_FILE = "cache-snapshot.json"
+#: Moves that may have left rows on two shards (recorded before the
+#: copy, cleared on convergence) -- reloaded at startup so ``/sql``
+#: keeps using the de-duplicating plan until a re-run converges.
+PENDING_MOVES_FILE = "rebalance-pending.json"
+
+#: Rounds an ingest batch may be re-dispatched when a concurrent
+#: rebalance moves its documents between placement and commit.  One
+#: hop settles a move (overrides are stable once published); the head
+#: room only covers back-to-back rebalances of the same range.
+_MAX_REROUTE_ROUNDS = 4
+
 
 def shard_for_doc(
     doc_id: int, num_shards: int, range_width: int = DEFAULT_RANGE_WIDTH
@@ -95,6 +144,222 @@ def shard_for_doc(
     if range_width < 1:
         raise ValueError("range_width must be >= 1")
     return (doc_id // range_width) % num_shards
+
+
+class RoutingTable:
+    """Immutable DocId -> shard ownership: striping plus move overrides.
+
+    The default placement is the striped :func:`shard_for_doc`; a
+    rebalance layers an **override** ``[doc_lo, doc_hi] -> shard`` on
+    top.  Instances are never mutated after construction -- a rebalance
+    builds a successor with :meth:`with_move` and the router swaps the
+    whole object in one atomic publish under its routing lock, so a
+    concurrent reader holds either the old table or the new one, never
+    a half-updated hybrid where a range has two owners (or none).
+
+    Overrides are kept sorted and non-overlapping (a later move splices
+    over earlier ones), so lookups are a bisect.
+    """
+
+    __slots__ = ("num_shards", "range_width", "overrides", "_bounds")
+
+    def __init__(
+        self,
+        num_shards: int,
+        range_width: int = DEFAULT_RANGE_WIDTH,
+        overrides: Sequence[tuple[int, int, int]] = (),
+    ) -> None:
+        self.num_shards = num_shards
+        self.range_width = range_width
+        cleaned = sorted(
+            (int(lo), int(hi), int(shard)) for lo, hi, shard in overrides
+        )
+        for (lo, hi, _), (next_lo, _, _) in zip(cleaned, cleaned[1:]):
+            if next_lo <= hi:
+                raise ValueError("routing overrides must not overlap")
+        self.overrides: tuple[tuple[int, int, int], ...] = tuple(cleaned)
+        self._bounds = [lo for lo, _, _ in self.overrides]
+
+    # ------------------------------------------------------------------
+    def override_owner(self, doc_id: int) -> int | None:
+        """The override covering ``doc_id``, or None for striped routing."""
+        at = bisect.bisect_right(self._bounds, doc_id) - 1
+        if at >= 0:
+            lo, hi, shard = self.overrides[at]
+            if lo <= doc_id <= hi:
+                return shard
+        return None
+
+    def owner(self, doc_id: int) -> int:
+        """The shard a *new* document with this DocId is placed on."""
+        override = self.override_owner(doc_id)
+        if override is not None:
+            return override
+        return shard_for_doc(doc_id, self.num_shards, self.range_width)
+
+    def with_move(self, doc_lo: int, doc_hi: int, target: int) -> "RoutingTable":
+        """A successor table where ``[doc_lo, doc_hi]`` belongs to ``target``."""
+        if doc_hi < doc_lo:
+            raise ValueError("doc_hi must be >= doc_lo")
+        spliced: list[tuple[int, int, int]] = []
+        for lo, hi, shard in self.overrides:
+            if hi < doc_lo or lo > doc_hi:
+                spliced.append((lo, hi, shard))
+                continue
+            if lo < doc_lo:
+                spliced.append((lo, doc_lo - 1, shard))
+            if hi > doc_hi:
+                spliced.append((doc_hi + 1, hi, shard))
+        spliced.append((doc_lo, doc_hi, target))
+        return RoutingTable(self.num_shards, self.range_width, spliced)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, object]:
+        return {
+            "num_shards": self.num_shards,
+            "range_width": self.range_width,
+            "overrides": [list(entry) for entry in self.overrides],
+        }
+
+    @classmethod
+    def load(
+        cls, shard_dir: str, num_shards: int, range_width: int
+    ) -> "RoutingTable":
+        """The persisted table of a previous run, or a fresh striped one.
+
+        A sidecar describing a different layout (shard count or stripe
+        width changed) is ignored: its overrides are meaningless under
+        the new geometry, and plain striping plus owner-probing keeps
+        every existing document readable.
+        """
+        path = os.path.join(shard_dir, ROUTING_FILE)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if (
+                data.get("num_shards") == num_shards
+                and data.get("range_width") == range_width
+            ):
+                return cls(
+                    num_shards,
+                    range_width,
+                    [tuple(entry) for entry in data.get("overrides", [])],
+                )
+        except (OSError, json.JSONDecodeError, ValueError, TypeError):
+            pass
+        return cls(num_shards, range_width)
+
+    def save(self, shard_dir: str) -> None:
+        try:
+            atomic_write_json(
+                os.path.join(shard_dir, ROUTING_FILE), self.to_json()
+            )
+        except OSError:
+            pass  # persistence is best-effort; the live table is in memory
+
+
+class _MoveGate:
+    """Active rebalance moves, plus a drain barrier for SQL readers.
+
+    ``/sql`` legs return scalar aggregates that cannot be de-duplicated
+    after the fact, so a request must *know* a move is in flight before
+    any row can exist on two shards.  Readers register under the current
+    epoch and receive the active move list; :meth:`begin` publishes the
+    move, advances the epoch, and waits until every reader from older
+    epochs (who may have missed the move) has finished -- only then may
+    the rebalance start copying rows.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._moves: tuple[tuple[int, int, int, int], ...] = ()
+        self._epoch = 0
+        self._readers: dict[int, int] = {}
+
+    @contextlib.contextmanager
+    def read(self) -> Iterator[tuple[tuple[int, int, int, int], ...]]:
+        with self._cond:
+            epoch = self._epoch
+            self._readers[epoch] = self._readers.get(epoch, 0) + 1
+            moves = self._moves
+        try:
+            yield moves
+        finally:
+            with self._cond:
+                self._readers[epoch] -= 1
+                if not self._readers[epoch]:
+                    del self._readers[epoch]
+                    self._cond.notify_all()
+
+    @staticmethod
+    def _without_one(
+        moves: tuple[tuple[int, int, int, int], ...],
+        move: tuple[int, int, int, int],
+    ) -> tuple[tuple[int, int, int, int], ...]:
+        """``moves`` minus the *last* occurrence of ``move`` (identical
+        entries from an unconverged predecessor must survive)."""
+        for at in range(len(moves) - 1, -1, -1):
+            if moves[at] == move:
+                return moves[:at] + moves[at + 1:]
+        return moves
+
+    def begin(
+        self, move: tuple[int, int, int, int], timeout: float = 60.0
+    ) -> None:
+        with self._cond:
+            self._moves = self._moves + (move,)
+            self._epoch += 1
+            barrier = self._epoch
+            drained = self._cond.wait_for(
+                lambda: all(epoch >= barrier for epoch in self._readers),
+                timeout=timeout,
+            )
+            if not drained:
+                self._moves = self._without_one(self._moves, move)
+                raise TimeoutError(
+                    "rebalance could not start: queries from before the "
+                    f"move announcement did not drain within {timeout:.0f}s"
+                )
+
+    def register(self, move: tuple[int, int, int, int]) -> None:
+        """Re-register an unconverged move at startup (no drain needed:
+        no request predates a service that is still constructing)."""
+        with self._cond:
+            self._moves = self._moves + (move,)
+
+    def barrier(self, timeout: float = 60.0) -> None:
+        """Wait until every currently-registered reader has finished.
+
+        The rebalance runs this between the routing swap and the source
+        delete: a fan-out request whose target leg read *before* the
+        copy landed must complete -- its source leg still sees the
+        pre-delete rows -- before any row disappears from the source,
+        or that request could observe the moved documents on neither
+        shard.
+        """
+        with self._cond:
+            self._epoch += 1
+            fence = self._epoch
+            drained = self._cond.wait_for(
+                lambda: all(epoch >= fence for epoch in self._readers),
+                timeout=timeout,
+            )
+            if not drained:
+                raise TimeoutError(
+                    "queries in flight before the ownership swap did not "
+                    f"drain within {timeout:.0f}s"
+                )
+
+    def end(
+        self, move: tuple[int, int, int, int], all_matching: bool = False
+    ) -> None:
+        """Drop one attempt's entry -- or, on a *converged* move, every
+        matching entry a failed predecessor left behind."""
+        with self._cond:
+            if all_matching:
+                self._moves = tuple(m for m in self._moves if m != move)
+            else:
+                self._moves = self._without_one(self._moves, move)
 
 
 def merge_ranked(
@@ -109,6 +374,13 @@ def merge_ranked(
     so the merged order is fully deterministic no matter which fan-out
     leg finished first -- and cuts at ``num_ans``.  Each kept answer is
     tagged with its source shard (line ids are shard-local).
+
+    Duplicate (DocId, LineNo) rows are dropped, keeping the first in
+    sort order: a document lives wholly on one shard, so a duplicate
+    only appears mid-rebalance, while a moved line transiently exists on
+    both the source and the target -- with the *same* probability (the
+    OCR channel is placement-independent), so de-duplication keeps the
+    merged relation exact through every phase of a move.
     """
     rows = [
         (shard, answer) for shard, answers in per_shard for answer in answers
@@ -121,9 +393,17 @@ def merge_ranked(
             row[0],
         )
     )
+    seen: set[tuple[int, int]] = set()
+    deduped: list[tuple[int, Answer]] = []
+    for shard, answer in rows:
+        line = (answer.doc_id, answer.line_no)
+        if line in seen:
+            continue
+        seen.add(line)
+        deduped.append((shard, answer))
     if num_ans is not None:
-        rows = rows[:num_ans]
-    return rows
+        deduped = deduped[:num_ans]
+    return deduped
 
 
 class _Shard:
@@ -241,6 +521,20 @@ class ShardedPool:
             for i in scope:
                 self.shards[i].generation += 1
 
+    def resume_generations(self, generations: Sequence[int | None]) -> None:
+        """Fast-forward generation clocks to a snapshot's values.
+
+        Warm start calls this so cache keys restored from a snapshot
+        (which embed generation vectors) keep matching future lookups.
+        ``None`` skips a shard; clocks only ever move forward.
+        """
+        with self._gen_lock:
+            for index, generation in enumerate(generations):
+                if generation is None:
+                    continue
+                shard = self.shards[index]
+                shard.generation = max(shard.generation, int(generation))
+
     # ------------------------------------------------------------------
     def stats(self) -> list[dict[str, object]]:
         """Per-shard occupancy/generation/replica snapshot for ``/stats``."""
@@ -260,7 +554,7 @@ class ShardedPool:
             shard.replicas.close()
 
 
-class ShardedQueryService:
+class ShardedQueryService(JobsApi):
     """The StaccatoDB query service over N DocId-range shards."""
 
     def __init__(
@@ -275,6 +569,7 @@ class ShardedQueryService:
         range_width: int = DEFAULT_RANGE_WIDTH,
         replicas: int = 1,
         replica_cooldown_s: float = DEFAULT_COOLDOWN_S,
+        workers: int = 2,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a sharded service needs at least one shard")
@@ -309,11 +604,117 @@ class ShardedQueryService:
         self._executor = ThreadPoolExecutor(
             max_workers=num_shards, thread_name_prefix="shard-fanout"
         )
+        # Writes get their own pool: an ingest leg parks on a shard
+        # write lock for as long as a rebalance holds it, and parked
+        # write legs must never occupy the slots read legs need -- the
+        # rebalance's pre-delete barrier waits for in-flight *reads*,
+        # which would deadlock (until timeout) if they queued behind
+        # blocked writes.
+        self._write_executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="shard-writes"
+        )
+        # Ownership: one immutable table, swapped whole under the lock
+        # (readers take ``self.routing`` by reference -- atomic publish).
+        self._routing_lock = threading.Lock()
+        self._routing = RoutingTable.load(shard_dir, num_shards, range_width)
+        self._move_gate = _MoveGate()
+        # Unconverged moves from a previous process: rows may still sit
+        # on two shards, so /sql must come back up on the safe plan.
+        self._pending_moves: list[tuple[int, int, int, int]] = (
+            self._load_pending_moves()
+        )
+        for pending in self._pending_moves:
+            self._move_gate.register(pending)
+        #: Test hook: called between the copy and the swap of a
+        #: rebalance (None = no-op), so cancellation mid-move is
+        #: deterministic to exercise.
+        self._rebalance_after_copy: Callable[[Job], None] | None = None
+        self.jobs = JobEngine(
+            self,
+            os.path.join(shard_dir, JOBS_JOURNAL_FILE),
+            workers=workers,
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self.jobs.shutdown()
         self._executor.shutdown(wait=True)
+        self._write_executor.shutdown(wait=True)
         self.pool.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def routing(self) -> RoutingTable:
+        """The current ownership table (an immutable snapshot)."""
+        return self._routing
+
+    def _publish_routing(self, table: RoutingTable) -> None:
+        """Atomically swap the routing table and persist the overrides."""
+        with self._routing_lock:
+            self._routing = table
+            table.save(self.shard_dir)
+
+    # ------------------------------------------------------------------
+    @property
+    def _pending_moves_path(self) -> str:
+        return os.path.join(self.shard_dir, PENDING_MOVES_FILE)
+
+    def _load_pending_moves(self) -> list[tuple[int, int, int, int]]:
+        try:
+            with open(self._pending_moves_path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+            return [
+                (int(lo), int(hi), int(src), int(dst))
+                for lo, hi, src, dst in data.get("moves", [])
+            ]
+        except (OSError, json.JSONDecodeError, ValueError, TypeError):
+            return []
+
+    def _save_pending_moves_locked(self) -> None:
+        try:
+            atomic_write_json(
+                self._pending_moves_path,
+                {"moves": [list(m) for m in self._pending_moves]},
+            )
+        except OSError:
+            pass  # best-effort durability; the in-memory gate still holds
+
+    def _record_pending_move(self, move: tuple[int, int, int, int]) -> None:
+        """Persist that rows of ``move`` may exist on two shards."""
+        with self._routing_lock:
+            self._pending_moves.append(move)
+            self._save_pending_moves_locked()
+
+    def _clear_pending_move(
+        self, move: tuple[int, int, int, int], all_matching: bool = False
+    ) -> None:
+        with self._routing_lock:
+            if all_matching:
+                self._pending_moves = [
+                    m for m in self._pending_moves if m != move
+                ]
+            else:
+                for at in range(len(self._pending_moves) - 1, -1, -1):
+                    if self._pending_moves[at] == move:
+                        del self._pending_moves[at]
+                        break
+            self._save_pending_moves_locked()
+
+    def _finish_move(
+        self, move: tuple[int, int, int, int], converged: bool
+    ) -> None:
+        """Retire a move from the gate AND the persisted pending record.
+
+        The two stores mirror each other by construction (the gate is
+        the in-memory truth ``/sql`` consults, the sidecar its
+        crash-surviving shadow), so they are only ever updated through
+        this one place: a converged move clears every matching entry a
+        failed predecessor left behind, an abandoned attempt removes
+        only its own.
+        """
+        self._move_gate.end(move, all_matching=converged)
+        self._clear_pending_move(move, all_matching=converged)
 
     def __enter__(self) -> "ShardedQueryService":
         return self
@@ -350,7 +751,7 @@ class ShardedQueryService:
         partial failure would leave pre-write cached answers servable
         for shards whose batch did land.
         """
-        wrapped = self._executor.map(
+        wrapped = self._write_executor.map(
             lambda index: (index, *self._attempt(leg, index)), scope
         )
         succeeded, first_error = [], None
@@ -462,48 +863,64 @@ class ShardedQueryService:
         return owners
 
     # ------------------------------------------------------------------
-    def ingest(self, payload: object) -> dict[str, object]:
-        """Route a batch to its owning shards; invalidates only those."""
-        request = validate_ingest(payload)
-        owners = self._existing_owners(
-            [doc.doc_id for doc in request.dataset.documents]
-        )
-        groups: dict[int, list[Document]] = {}
-        # Placement is decided under one lock hold per batch: committed
-        # rows (the probe) win, then in-process placements from racing
-        # or in-flight batches, and only genuinely new documents get a
-        # fresh assignment -- a contiguous round-robin stride, or their
-        # DocId-range owner.
-        with self._rr_lock:
-            for doc_id, index in self._placements.items():
-                owners.setdefault(doc_id, index)
-            new_docs = [
-                doc
-                for doc in request.dataset.documents
-                if doc.doc_id not in owners
-            ]
-            if request.route == "round_robin":
-                start = self._rr_next
-                self._rr_next = (start + len(new_docs)) % self.num_shards
-                for offset, doc in enumerate(new_docs):
-                    owners[doc.doc_id] = (start + offset) % self.num_shards
-            else:
-                for doc in new_docs:
-                    owners[doc.doc_id] = shard_for_doc(
-                        doc.doc_id, self.num_shards, self.range_width
-                    )
-            # Remember only the fresh assignments (probed owners are
-            # already durable on disk), trimming the oldest beyond the
-            # cap to keep a long-lived router's memory flat.
-            for doc in new_docs:
-                self._placements[doc.doc_id] = owners[doc.doc_id]
-            while len(self._placements) > _PLACEMENTS_CAP:
-                self._placements.popitem(last=False)
-        for doc in request.dataset.documents:
-            groups.setdefault(owners[doc.doc_id], []).append(doc)
-        started = time.perf_counter()
+    def _split_moved(
+        self, index: int, shard: _Shard, docs: Sequence[Document]
+    ) -> tuple[list[Document], list[Document]]:
+        """Partition a leg's documents into kept vs moved-by-rebalance.
 
-        def leg(index: int) -> tuple[int, int, int]:
+        Runs under the shard's write lock, so any rebalance that was in
+        flight when this batch picked its owners has fully published its
+        routing table by now.  A document whose override names another
+        shard is re-dispatched *unless its rows are already here* -- a
+        pre-move resident (e.g. a round-robin placement inside an
+        overridden range) keeps its probe-derived home; the override
+        only redirects documents the move actually took away (and fresh
+        ones, which were placed by the override to begin with).
+        """
+        routing = self.routing
+        stay: list[Document] = []
+        overridden: list[Document] = []
+        for doc in docs:
+            override = routing.override_owner(doc.doc_id)
+            if override is None or override == index:
+                stay.append(doc)
+            else:
+                overridden.append(doc)
+        if not overridden:
+            return stay, []
+        # Probe a *live* copy: the primary may be stale (it missed a
+        # committed write), and a false "absent" here would split the
+        # document across shards.  Batched like ``_existing_owners`` --
+        # this runs under the shard's write lock, so one IN query per
+        # batch, not one SELECT per document.
+        probe = next(
+            (
+                r.writer.conn
+                for r in shard.replicas.replicas()
+                if not r.stale and os.path.exists(r.path)
+            ),
+            shard.writer.conn,
+        )
+        present: set[int] = set()
+        ids = [doc.doc_id for doc in overridden]
+        for at in range(0, len(ids), _OWNER_PROBE_BATCH):
+            batch = ids[at : at + _OWNER_PROBE_BATCH]
+            marks = ",".join("?" * len(batch))
+            present.update(
+                row[0]
+                for row in probe.execute(
+                    f"SELECT DocId FROM Documents WHERE DocId IN ({marks})",
+                    batch,
+                )
+            )
+        moved = [doc for doc in overridden if doc.doc_id not in present]
+        stay.extend(doc for doc in overridden if doc.doc_id in present)
+        return stay, moved
+
+    def _ingest_leg(self, groups: Mapping[int, list[Document]], request):
+        """One shard's write leg for :meth:`ingest` (re-dispatch aware)."""
+
+        def leg(index: int) -> tuple[int, int, int, list[Document]]:
             docs = groups[index]
             shard = self.pool.shard(index)
             leg_started = time.perf_counter()
@@ -514,7 +931,7 @@ class ShardedQueryService:
                 # doc_id, line_no), so every copy stores identical rows.
                 ocr = SimulatedOcrEngine(seed=request.ocr_seed)
                 count = replica.writer.ingest(
-                    Dataset(name=request.dataset.name, documents=docs),
+                    Dataset(name=request.dataset.name, documents=stay),
                     ocr,
                     approaches=request.approaches,
                     workers=request.workers,
@@ -523,7 +940,11 @@ class ShardedQueryService:
 
             try:
                 with shard.write_lock:
-                    count, total = shard.replicas.apply_write(apply)
+                    stay, moved = self._split_moved(index, shard, docs)
+                    if stay:
+                        count, total = shard.replicas.apply_write(apply)
+                    else:
+                        count, total = 0, shard.writer.num_lines
             except ReplicaUnavailable as exc:
                 # Same condition, same status as the read paths: a
                 # shard with no writable replica is 503, not a 500.
@@ -539,22 +960,100 @@ class ShardedQueryService:
             self.metrics.observe_shard(
                 index, "ingest", time.perf_counter() - leg_started
             )
-            return index, count, total
+            return index, count, total, moved
 
-        results, error = self._fan_out_writes(sorted(groups), leg)
-        touched = {index for index, _, _ in results}
+        return leg
+
+    def ingest(self, payload: object) -> dict[str, object]:
+        """Route a batch to its owning shards; invalidates only those."""
+        request = validate_ingest(payload)
+        owners = self._existing_owners(
+            [doc.doc_id for doc in request.dataset.documents]
+        )
+        routing = self.routing
+        # Placement is decided under one lock hold per batch: committed
+        # rows (the probe) win, then in-process placements from racing
+        # or in-flight batches, and only genuinely new documents get a
+        # fresh assignment -- a contiguous round-robin stride, or their
+        # routing-table owner (striped range, or a rebalance override).
+        with self._rr_lock:
+            for doc_id, index in self._placements.items():
+                owners.setdefault(doc_id, index)
+            new_docs = [
+                doc
+                for doc in request.dataset.documents
+                if doc.doc_id not in owners
+            ]
+            if request.route == "round_robin":
+                start = self._rr_next
+                self._rr_next = (start + len(new_docs)) % self.num_shards
+                for offset, doc in enumerate(new_docs):
+                    owners[doc.doc_id] = (start + offset) % self.num_shards
+            else:
+                for doc in new_docs:
+                    owners[doc.doc_id] = routing.owner(doc.doc_id)
+            # Remember only the fresh assignments (probed owners are
+            # already durable on disk), trimming the oldest beyond the
+            # cap to keep a long-lived router's memory flat.
+            for doc in new_docs:
+                self._placements[doc.doc_id] = owners[doc.doc_id]
+            while len(self._placements) > _PLACEMENTS_CAP:
+                self._placements.popitem(last=False)
+        groups: dict[int, list[Document]] = {}
+        for doc in request.dataset.documents:
+            groups.setdefault(owners[doc.doc_id], []).append(doc)
+        started = time.perf_counter()
+
+        # A rebalance racing this batch can move a document between
+        # placement and the leg's lock acquisition; the leg detects it
+        # (under the lock, where the published table is authoritative)
+        # and hands the document back for another round at its new home.
+        ingested: dict[int, int] = {}
+        totals: dict[int, int] = {}
+        first_error: Exception | None = None
+        for _ in range(1 + _MAX_REROUTE_ROUNDS):
+            if not groups:
+                break
+            results, error = self._fan_out_writes(
+                sorted(groups), self._ingest_leg(groups, request)
+            )
+            if error is not None and first_error is None:
+                first_error = error
+            next_groups: dict[int, list[Document]] = {}
+            for index, count, total, moved in results:
+                ingested[index] = ingested.get(index, 0) + count
+                totals[index] = total
+                for doc in moved:
+                    next_groups.setdefault(
+                        self.routing.owner(doc.doc_id), []
+                    ).append(doc)
+            groups = next_groups
+            if error is not None:
+                break  # settle what landed; do not re-route after a failure
+        if groups and first_error is None:
+            first_error = ApiError(
+                503,
+                "ingest could not settle: documents kept moving between "
+                "shards (concurrent rebalances)",
+                code="shard_unavailable",
+            )
+        touched = {index for index, count in ingested.items() if count}
         self.pool.bump(touched)
         evicted = self._invalidate_shards(touched)
-        if error is not None:
-            raise error
+        if first_error is not None:
+            raise first_error
         return {
             "dataset": request.dataset.name,
             "route": request.route,
-            "ingested_lines": sum(count for _, count, _ in results),
+            "ingested_lines": sum(ingested.values()),
             "total_lines": self.total_lines(),
             "shards": {
-                str(index): {"ingested_lines": count, "total_lines": total}
-                for index, count, total in results
+                str(index): {
+                    "ingested_lines": count,
+                    "total_lines": totals[index],
+                }
+                for index, count in sorted(ingested.items())
+                if count
             },
             "evicted_cache_entries": evicted,
             "elapsed_s": time.perf_counter() - started,
@@ -603,7 +1102,13 @@ class ShardedQueryService:
             )
             return index, label, answers
 
-        results = self._fan_out(scope, leg)
+        # Registered with the move gate (the move list itself is unused
+        # here -- merge_ranked de-duplicates unconditionally) so a
+        # rebalance's pre-delete barrier can wait for this fan-out: the
+        # source rows must not disappear under a request whose target
+        # leg read before the copy landed.
+        with self._move_gate.read():
+            results = self._fan_out(scope, leg)
         merged = merge_ranked(
             [(index, answers) for index, _, answers in results],
             request.num_ans,
@@ -650,45 +1155,80 @@ class ShardedQueryService:
             parsed = parse_select(request.query)
         except SqlError as exc:
             raise ApiError(400, str(exc), code="sql_error") from exc
-        base = shard_select(parsed)
         started = time.perf_counter()
 
-        def evaluate(db: StaccatoDB) -> list[dict[str, object]]:
-            try:
-                return execute_select(
-                    db,
-                    request.query,
-                    approach=request.approach,
-                    num_ans=None,
-                    parsed=base,
-                )
-            except (SqlError, RegexError) as exc:
-                # A query error, not a replica fault: surface it as the
-                # structured 400 instead of failing over.
-                raise ApiError(400, str(exc), code="sql_error") from exc
-
-        def leg(index: int) -> list[dict[str, object]]:
-            leg_started = time.perf_counter()
-            try:
-                rows = self._replica_read(index, "sql", evaluate)
-            except ReplicaUnavailable as exc:
-                self.metrics.observe_shard(
-                    index, "sql", time.perf_counter() - leg_started, error=True
-                )
-                raise self._shard_unavailable(index, exc) from exc
-            except ApiError:
-                self.metrics.observe_shard(
-                    index, "sql", time.perf_counter() - leg_started, error=True
-                )
-                raise
-            self.metrics.observe_shard(
-                index, "sql", time.perf_counter() - leg_started
+        # While a rebalance is copying, a moved document's rows exist on
+        # two shards.  Scalar per-shard aggregates cannot be un-counted,
+        # so inside an active move the legs return the full per-document
+        # relation instead; the router de-duplicates by DocId (copies
+        # are byte-identical) and recomputes the aggregates itself.  The
+        # move gate guarantees the flag is seen before any row can be
+        # doubled: a rebalance drains pre-announcement readers first.
+        # Only a scope spanning BOTH sides of some active move can see a
+        # document twice, so queries scoped away from the move (and all
+        # queries, once no move is pending) keep the fast scalar plan.
+        scope_set = set(scope)
+        with self._move_gate.read() as moves:
+            move_safe = any(
+                m_src in scope_set and m_dst in scope_set
+                for _, _, m_src, m_dst in moves
             )
-            return rows
+            base = shard_select_rows(parsed) if move_safe else shard_select(parsed)
 
-        shard_rows = self._fan_out(scope, leg)
+            def evaluate(db: StaccatoDB) -> list[dict[str, object]]:
+                try:
+                    return execute_select(
+                        db,
+                        request.query,
+                        approach=request.approach,
+                        num_ans=None,
+                        parsed=base,
+                    )
+                except (SqlError, RegexError) as exc:
+                    # A query error, not a replica fault: surface it as
+                    # the structured 400 instead of failing over.
+                    raise ApiError(400, str(exc), code="sql_error") from exc
+
+            def leg(index: int) -> list[dict[str, object]]:
+                leg_started = time.perf_counter()
+                try:
+                    rows = self._replica_read(index, "sql", evaluate)
+                except ReplicaUnavailable as exc:
+                    self.metrics.observe_shard(
+                        index, "sql", time.perf_counter() - leg_started, error=True
+                    )
+                    raise self._shard_unavailable(index, exc) from exc
+                except ApiError:
+                    self.metrics.observe_shard(
+                        index, "sql", time.perf_counter() - leg_started, error=True
+                    )
+                    raise
+                self.metrics.observe_shard(
+                    index, "sql", time.perf_counter() - leg_started
+                )
+                return rows
+
+            shard_rows = self._fan_out(scope, leg)
         try:
-            rows = merge_shard_rows(parsed, shard_rows, num_ans=request.num_ans)
+            if move_safe:
+                seen_docs: set[object] = set()
+                deduped: list[dict[str, object]] = []
+                for rows_ in shard_rows:
+                    for row in rows_:
+                        if row["DocId"] in seen_docs:
+                            continue
+                        seen_docs.add(row["DocId"])
+                        deduped.append(row)
+                if parsed.is_aggregate:
+                    rows = aggregate_full_rows(parsed, deduped)
+                else:
+                    rows = merge_shard_rows(
+                        parsed, [deduped], num_ans=request.num_ans
+                    )
+            else:
+                rows = merge_shard_rows(
+                    parsed, shard_rows, num_ans=request.num_ans
+                )
         except SqlError as exc:
             raise ApiError(400, str(exc), code="sql_error") from exc
         result = {
@@ -812,6 +1352,533 @@ class ShardedQueryService:
         }
 
     # ------------------------------------------------------------------
+    # Rebalance: move one DocId range between two live shards.
+    # ------------------------------------------------------------------
+    _REBALANCE_SRC = "rebalance_src"
+
+    #: Child-table copy statements (Documents and MasterData go first,
+    #: explicitly); every copied DataKey is offset past the target's
+    #: existing keys so the merged file keeps unique line ids.
+    _REBALANCE_COPY_CHILDREN = (
+        "INSERT INTO kMAPData(DataKey, Rank, Data, LogProb) "
+        "SELECT t.DataKey + :offset, t.Rank, t.Data, t.LogProb "
+        "FROM {src}.kMAPData t JOIN {src}.MasterData m ON m.DataKey = t.DataKey "
+        "WHERE m.DocId IN (SELECT DocId FROM _rebalance_ids)",
+        "INSERT INTO FullSFAData(DataKey, SFABlob) "
+        "SELECT t.DataKey + :offset, t.SFABlob "
+        "FROM {src}.FullSFAData t JOIN {src}.MasterData m ON m.DataKey = t.DataKey "
+        "WHERE m.DocId IN (SELECT DocId FROM _rebalance_ids)",
+        "INSERT INTO StaccatoData(DataKey, ChunkNum, Rank, Data, LogProb) "
+        "SELECT t.DataKey + :offset, t.ChunkNum, t.Rank, t.Data, t.LogProb "
+        "FROM {src}.StaccatoData t JOIN {src}.MasterData m ON m.DataKey = t.DataKey "
+        "WHERE m.DocId IN (SELECT DocId FROM _rebalance_ids)",
+        "INSERT INTO StaccatoGraph(DataKey, GraphBlob) "
+        "SELECT t.DataKey + :offset, t.GraphBlob "
+        "FROM {src}.StaccatoGraph t JOIN {src}.MasterData m ON m.DataKey = t.DataKey "
+        "WHERE m.DocId IN (SELECT DocId FROM _rebalance_ids)",
+        "INSERT INTO GroundTruth(DataKey, Data) "
+        "SELECT t.DataKey + :offset, t.Data "
+        "FROM {src}.GroundTruth t JOIN {src}.MasterData m ON m.DataKey = t.DataKey "
+        "WHERE m.DocId IN (SELECT DocId FROM _rebalance_ids)",
+        "INSERT INTO InvertedIndex(Term, DataKey, U, V, Rank, Offset) "
+        "SELECT t.Term, t.DataKey + :offset, t.U, t.V, t.Rank, t.Offset "
+        "FROM {src}.InvertedIndex t JOIN {src}.MasterData m ON m.DataKey = t.DataKey "
+        "WHERE m.DocId IN (SELECT DocId FROM _rebalance_ids)",
+    )
+
+    _REBALANCE_DELETE_CHILDREN = (
+        "DELETE FROM kMAPData WHERE DataKey IN "
+        "(SELECT DataKey FROM MasterData WHERE DocId IN "
+        "(SELECT DocId FROM _rebalance_ids))",
+        "DELETE FROM FullSFAData WHERE DataKey IN "
+        "(SELECT DataKey FROM MasterData WHERE DocId IN "
+        "(SELECT DocId FROM _rebalance_ids))",
+        "DELETE FROM StaccatoData WHERE DataKey IN "
+        "(SELECT DataKey FROM MasterData WHERE DocId IN "
+        "(SELECT DocId FROM _rebalance_ids))",
+        "DELETE FROM StaccatoGraph WHERE DataKey IN "
+        "(SELECT DataKey FROM MasterData WHERE DocId IN "
+        "(SELECT DocId FROM _rebalance_ids))",
+        "DELETE FROM GroundTruth WHERE DataKey IN "
+        "(SELECT DataKey FROM MasterData WHERE DocId IN "
+        "(SELECT DocId FROM _rebalance_ids))",
+        "DELETE FROM InvertedIndex WHERE DataKey IN "
+        "(SELECT DataKey FROM MasterData WHERE DocId IN "
+        "(SELECT DocId FROM _rebalance_ids))",
+        "DELETE FROM MasterData WHERE DocId IN "
+        "(SELECT DocId FROM _rebalance_ids)",
+        "DELETE FROM Documents WHERE DocId IN "
+        "(SELECT DocId FROM _rebalance_ids)",
+    )
+
+    @staticmethod
+    def _load_rebalance_ids(conn, doc_ids: Sequence[int]) -> None:
+        """(Re)fill the per-connection temp table driving copy/delete."""
+        conn.execute(
+            "CREATE TEMP TABLE IF NOT EXISTS _rebalance_ids "
+            "(DocId INTEGER PRIMARY KEY)"
+        )
+        conn.execute("DELETE FROM _rebalance_ids")
+        conn.executemany(
+            "INSERT INTO _rebalance_ids(DocId) VALUES (?)",
+            [(doc_id,) for doc_id in doc_ids],
+        )
+
+    def _rebalance_copy(
+        self,
+        replica: Replica,
+        source_path: str,
+        doc_ids: Sequence[int],
+        expect_lines: int,
+    ) -> list[int]:
+        """Copy the moved documents into one target replica, verified.
+        Returns the DocIds actually inserted (the skipped ones already
+        lived here) -- the only rows a cancel may unwind.
+
+        One transaction per replica: concurrent readers see the copy all
+        at once or not at all.  Documents the target already holds *with
+        the source's line count* are skipped (copies are byte-identical
+        -- content is deterministic in the document and lines only
+        append); a document present with a different count is a stale
+        copy from a move that died mid-way, so its target rows are
+        dropped and re-copied.  Together these make re-submitting the
+        same move the repair path for a run that failed or died between
+        the copy commit and the source delete.  The count verification
+        runs *inside* the transaction -- a mismatch rolls the whole copy
+        back.
+        """
+        conn = replica.writer.conn
+        replica.writer.attach(source_path, self._REBALANCE_SRC)
+        try:
+            with conn:
+                self._load_rebalance_ids(conn, doc_ids)
+                # Skip docs the target already holds with AT LEAST the
+                # source's line count: lines only append and a doc's
+                # new lines land on exactly one holder, so a target
+                # that is not behind is current-or-ahead (it may carry
+                # ingests accepted after ownership switched -- rows a
+                # re-copy from the source must never clobber).  A
+                # target *behind* the source is a stale copy from a
+                # died move; it is dropped and re-copied in full.
+                conn.execute(
+                    f"DELETE FROM _rebalance_ids WHERE DocId IN ("
+                    f"SELECT d.DocId FROM main.Documents d WHERE "
+                    f"(SELECT COUNT(*) FROM main.MasterData "
+                    f" WHERE DocId = d.DocId) >= "
+                    f"(SELECT COUNT(*) FROM {self._REBALANCE_SRC}.MasterData "
+                    f" WHERE DocId = d.DocId))"
+                )
+                # Remaining ids are either absent from the target (the
+                # deletes no-op) or stale partial copies (cleared for a
+                # fresh copy).
+                for statement in self._REBALANCE_DELETE_CHILDREN:
+                    conn.execute(statement)
+                # DataKeys start at 0 on a fresh file, so the first free
+                # key is MAX + 1 (not MAX): every copied key lands past
+                # the target's existing range.
+                offset = conn.execute(
+                    "SELECT COALESCE(MAX(DataKey), -1) + 1 FROM MasterData"
+                ).fetchone()[0]
+                expect_copied = conn.execute(
+                    f"SELECT COUNT(*) FROM {self._REBALANCE_SRC}.MasterData "
+                    f"WHERE DocId IN (SELECT DocId FROM _rebalance_ids)"
+                ).fetchone()[0]
+                conn.execute(
+                    f"INSERT INTO Documents "
+                    f"SELECT * FROM {self._REBALANCE_SRC}.Documents "
+                    f"WHERE DocId IN (SELECT DocId FROM _rebalance_ids)"
+                )
+                conn.execute(
+                    f"INSERT INTO MasterData(DataKey, DocName, DocId, SFANum) "
+                    f"SELECT DataKey + :offset, DocName, DocId, SFANum "
+                    f"FROM {self._REBALANCE_SRC}.MasterData "
+                    f"WHERE DocId IN (SELECT DocId FROM _rebalance_ids)",
+                    {"offset": offset},
+                )
+                for statement in self._REBALANCE_COPY_CHILDREN:
+                    conn.execute(
+                        statement.format(src=self._REBALANCE_SRC),
+                        {"offset": offset},
+                    )
+                got_docs, got_lines = conn.execute(
+                    "SELECT (SELECT COUNT(*) FROM Documents WHERE DocId IN "
+                    "(SELECT DocId FROM _rebalance_ids)), "
+                    "(SELECT COUNT(*) FROM MasterData WHERE DocId IN "
+                    "(SELECT DocId FROM _rebalance_ids))"
+                ).fetchone()
+                copied = [
+                    row[0]
+                    for row in conn.execute(
+                        "SELECT DocId FROM _rebalance_ids ORDER BY DocId"
+                    )
+                ]
+                if got_docs != len(copied) or got_lines != expect_copied:
+                    raise RuntimeError(
+                        f"rebalance copy verification failed on "
+                        f"{replica.path}: expected {len(copied)} docs / "
+                        f"{expect_copied} lines, found {got_docs} / "
+                        f"{got_lines}"
+                    )
+        finally:
+            replica.writer.detach(self._REBALANCE_SRC)
+        return copied
+
+    def _rebalance_delete(
+        self, replica: Replica, doc_ids: Sequence[int]
+    ) -> int:
+        """Drop the moved documents from one replica (one transaction)."""
+        conn = replica.writer.conn
+        with conn:
+            self._load_rebalance_ids(conn, doc_ids)
+            for statement in self._REBALANCE_DELETE_CHILDREN:
+                conn.execute(statement)
+        return len(doc_ids)
+
+    def job_rebalance(
+        self, job: Job, params: Mapping[str, object]
+    ) -> dict[str, object]:
+        """Runner: move ``[doc_lo, doc_hi]`` from ``source`` to ``target``.
+
+        Phases (cancellation checkpoints between them; a cancel before
+        the routing swap undoes the copy and leaves the cluster exactly
+        as it was):
+
+        1. **announce** -- register the move and drain SQL readers that
+           predate it (they could not know to de-duplicate);
+        2. **snapshot** -- under both shards' write locks (acquired in
+           shard-index order via the shared ``ordered_locks`` helper),
+           list the documents the source holds in the range;
+        3. **copy + verify** -- one verified transaction per target
+           replica, keyed off a healthy source copy;
+        4. **swap** -- publish the successor routing table (single
+           atomic reference swap) and persist it;
+        5. **delete** -- drop the moved rows from every source replica;
+        6. **invalidate** -- bump both shards' generations and evict
+           cache entries whose scope touches them (moved line ids and
+           shard tags changed even though probabilities did not).
+        """
+        request = validate_rebalance_params(params, self.num_shards)
+        lo, hi = request.doc_lo, request.doc_hi
+        src, dst = request.source, request.target
+        source = self.pool.shard(src)
+        target = self.pool.shard(dst)
+        job.check_cancelled()
+        move = (lo, hi, src, dst)
+        self._move_gate.begin(move)
+        moved_docs: list[int] = []
+        moved_lines = 0
+        evicted = 0
+        delete_incomplete = False
+        converged = False
+        copy_landed = False
+        try:
+            with ordered_locks(
+                (src, source.write_lock), (dst, target.write_lock)
+            ):
+                job.update(progress=0.1)
+                # Copy from a healthy source replica (the primary unless
+                # it is stale or lost).
+                source_copy = next(
+                    (
+                        r
+                        for r in source.replicas.replicas()
+                        if not r.stale and os.path.exists(r.path)
+                    ),
+                    None,
+                )
+                if source_copy is None:
+                    raise ApiError(
+                        503,
+                        f"shard {src} has no live replica to move from",
+                        code="shard_unavailable",
+                    )
+                rows = source_copy.writer.conn.execute(
+                    "SELECT DocId FROM Documents WHERE DocId BETWEEN ? AND ? "
+                    "ORDER BY DocId",
+                    (lo, hi),
+                ).fetchall()
+                moved_docs = [row[0] for row in rows]
+                moved_lines = source_copy.writer.conn.execute(
+                    "SELECT COUNT(*) FROM MasterData WHERE DocId BETWEEN ? AND ?",
+                    (lo, hi),
+                ).fetchone()[0]
+                job.update(
+                    progress=0.2, docs=len(moved_docs), lines=moved_lines
+                )
+                job.check_cancelled()
+                copied_docs: list[int] = []
+                if moved_docs:
+                    # From here rows may exist on two shards; persist
+                    # that fact so a crash restarts /sql on the safe
+                    # de-duplicating plan.
+                    self._record_pending_move(move)
+                    copied_docs = target.replicas.apply_write(
+                        lambda replica: self._rebalance_copy(
+                            replica, source_copy.path, moved_docs, moved_lines
+                        )
+                    )
+                    copy_landed = True
+                job.update(progress=0.6)
+                if self._rebalance_after_copy is not None:
+                    self._rebalance_after_copy(job)
+                if job.cancel_requested:
+                    # Unwind only what THIS run inserted: documents the
+                    # copy skipped already lived on the target (possibly
+                    # with post-switch ingests no other shard holds) and
+                    # must survive the rollback.
+                    if copied_docs:
+                        try:
+                            target.replicas.apply_write(
+                                lambda replica: self._rebalance_delete(
+                                    replica, copied_docs
+                                )
+                            )
+                        except Exception as exc:
+                            # The committed copies could not be rolled
+                            # back: rows sit on two shards, so this is
+                            # the same unconverged state as a failed
+                            # source delete -- keep the gate entry and
+                            # pending record, converge by re-running.
+                            delete_incomplete = True
+                            raise ApiError(
+                                503
+                                if isinstance(exc, ReplicaUnavailable)
+                                else 500,
+                                f"rebalance {job.id} was cancelled but "
+                                f"could not roll the copies back off "
+                                f"shard {dst}: {exc}; re-submit the same "
+                                "rebalance to converge (forward)",
+                                code="rebalance_incomplete",
+                            ) from exc
+                    raise JobCancelled(
+                        f"rebalance {job.id} cancelled after copy; "
+                        "target rolled back, routing unchanged"
+                    )
+                self._publish_routing(self.routing.with_move(lo, hi, dst))
+                job.update(progress=0.75)
+                if moved_docs:
+                    try:
+                        # Every fan-out that may have read the target
+                        # *before* the copy landed must finish before a
+                        # row leaves the source, or one request could
+                        # see the moved documents on neither shard.
+                        self._move_gate.barrier()
+                        source.replicas.apply_write(
+                            lambda replica: self._rebalance_delete(
+                                replica, moved_docs
+                            )
+                        )
+                    except Exception as exc:
+                        # Ownership already switched; the copies are
+                        # live on the target but the source still holds
+                        # the rows.  Keep the move registered (the gate
+                        # entry is only dropped on success) so ``/sql``
+                        # stays on the de-duplicating full-row plan, and
+                        # tell the operator the convergence recipe:
+                        # re-submitting the same move skips the
+                        # already-copied documents and retries the
+                        # delete.
+                        delete_incomplete = True
+                        raise ApiError(
+                            503 if isinstance(exc, ReplicaUnavailable) else 500,
+                            f"rebalance switched ownership of "
+                            f"[{lo}, {hi}] to shard {dst} but could not "
+                            f"delete the moved rows from shard {src}: "
+                            f"{exc}; re-submit the same rebalance once "
+                            f"the shard is writable to converge",
+                            code="rebalance_incomplete",
+                        ) from exc
+                job.update(progress=0.9)
+            with self._rr_lock:
+                for doc_id in moved_docs:
+                    self._placements.pop(doc_id, None)
+            converged = True
+        except ReplicaUnavailable as exc:
+            raise ApiError(503, str(exc), code="shard_unavailable") from exc
+        finally:
+            if copy_landed:
+                # The target's committed contents changed on every path
+                # that got this far -- even a rolled-back cancel briefly
+                # exposed the copies to scoped reads that may have been
+                # cached -- so both shards' generations move and their
+                # cache entries go, success or not.
+                self.pool.bump({src, dst})
+                evicted = self._invalidate_shards({src, dst})
+            if delete_incomplete:
+                # Keep the gate entry and the persisted pending record:
+                # rows sit on two shards until a re-run converges, and
+                # /sql must stay on the de-duplicating plan -- across
+                # restarts too.
+                pass
+            else:
+                # Converged: also clear every matching entry a failed
+                # predecessor (or crash) left behind.  Cancelled/failed
+                # before the swap: copies were undone (or never landed),
+                # so only this attempt's entries go, a predecessor's
+                # survive.
+                self._finish_move(move, converged)
+        job.update(progress=1.0, evicted_cache_entries=evicted)
+        return {
+            "doc_lo": lo,
+            "doc_hi": hi,
+            "source": src,
+            "target": dst,
+            "moved_docs": len(moved_docs),
+            "moved_lines": moved_lines,
+            "evicted_cache_entries": evicted,
+        }
+
+    # ------------------------------------------------------------------
+    def validate_job_params(self, job_type, params):
+        if job_type == "rebalance":
+            request = validate_rebalance_params(params, self.num_shards)
+            return {
+                "doc_lo": request.doc_lo,
+                "doc_hi": request.doc_hi,
+                "source": request.source,
+                "target": request.target,
+            }
+        return super().validate_job_params(job_type, params)
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_path(self) -> str:
+        """The warm-start sidecar the ``cache_snapshot`` job writes."""
+        return os.path.join(self.shard_dir, CACHE_SNAPSHOT_FILE)
+
+    def job_cache_snapshot(self, job: Job, params) -> dict[str, object]:
+        """Runner: serialize the query cache plus its generation vector.
+
+        Sharded keys embed per-shard generation counters, so the
+        snapshot records each shard's generation *and* line count at
+        snapshot time; a warm start replays an entry only when every
+        shard it covers still matches both.
+        """
+        job.check_cancelled()
+        generations = list(
+            self.pool.generations(tuple(range(self.num_shards)))
+        )
+        lines: list[int] = []
+        index_digests: list[list] = []
+        for index in range(self.num_shards):
+            try:
+                lines_and_index = self._replica_read(
+                    index,
+                    "stats",
+                    lambda db: (db.num_lines, index_fingerprint(db)),
+                )
+            except ReplicaUnavailable as exc:
+                raise ApiError(
+                    503,
+                    f"cannot snapshot: {exc}",
+                    code="shard_unavailable",
+                ) from exc
+            lines.append(lines_and_index[0])
+            index_digests.append(lines_and_index[1])
+        entries = self.cache.export_entries()
+        payload = {
+            "kind": "sharded",
+            "shard_dir": self.shard_dir,
+            "num_shards": self.num_shards,
+            "range_width": self.range_width,
+            "generations": generations,
+            "lines": lines,
+            "index": index_digests,
+            "created_at": time.time(),
+            "entries": [[key_to_json(key), value] for key, value in entries],
+        }
+        size = atomic_write_json(self.snapshot_path, payload)
+        job.update(progress=1.0, entries=len(entries), bytes=size)
+        return {
+            "path": self.snapshot_path,
+            "entries": len(entries),
+            "bytes": size,
+        }
+
+    def warm_start(self) -> int:
+        """Reload the last ``cache_snapshot`` (``serve --warm-start``).
+
+        Per-shard staleness: a shard whose line count moved since the
+        snapshot drops every entry whose scope includes it, while
+        entries scoped to untouched shards are restored (their
+        generation counters resume at the snapshot values, so restored
+        keys keep matching future lookups).  Returns the entry count
+        loaded; ``/stats`` reports it as ``cache.warm_loaded``.
+        """
+        if not os.path.exists(self.snapshot_path):
+            return 0
+        # Best-effort: any structurally-off snapshot is dropped whole
+        # rather than keeping the service from coming up.
+        try:
+            with open(self.snapshot_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if (
+                data.get("kind") != "sharded"
+                or data.get("num_shards") != self.num_shards
+            ):
+                return 0
+            snap_generations = [
+                int(generation) for generation in data.get("generations") or []
+            ]
+            snap_lines = data.get("lines") or []
+            snap_index = data.get("index") or []
+            if (
+                len(snap_generations) != self.num_shards
+                or len(snap_lines) != self.num_shards
+                or len(snap_index) != self.num_shards
+            ):
+                return 0
+            stale: set[int] = set()
+            for index in range(self.num_shards):
+                try:
+                    current = self._replica_read(
+                        index,
+                        "stats",
+                        lambda db: (db.num_lines, index_fingerprint(db)),
+                    )
+                except ReplicaUnavailable:
+                    stale.add(index)
+                    continue
+                # A changed line count *or* a rebuilt index makes the
+                # shard's cached results unreplayable.
+                if current[0] != snap_lines[index]:
+                    stale.add(index)
+                elif current[1] != snap_index[index]:
+                    stale.add(index)
+            # Resume the fresh shards' generation clocks so restored
+            # keys (which embed generation vectors) match future lookups.
+            self.pool.resume_generations(
+                [
+                    None if index in stale else snap_generations[index]
+                    for index in range(self.num_shards)
+                ]
+            )
+            kept: list[tuple[object, object]] = []
+            for raw_key, value in data.get("entries", []):
+                key = key_from_json(raw_key)
+                if not isinstance(key, tuple) or len(key) < 3:
+                    continue
+                scope, generations = key[1], key[2]
+                if not isinstance(scope, tuple) or not isinstance(
+                    generations, tuple
+                ):
+                    continue
+                if any(
+                    not isinstance(index, int) or index >= self.num_shards
+                    for index in scope
+                ):
+                    continue
+                if any(index in stale for index in scope):
+                    continue
+                if generations != tuple(snap_generations[s] for s in scope):
+                    continue
+                kept.append((key, value))
+        except (OSError, json.JSONDecodeError, ValueError, TypeError,
+                KeyError, AttributeError):
+            return 0
+        return self.cache.load_entries(kept)
+
+    # ------------------------------------------------------------------
     def total_lines(self) -> int:
         """Lines across all shards (skipping any fully-down shard)."""
         total = 0
@@ -886,7 +1953,9 @@ class ShardedQueryService:
                 ),
             },
             "shards": shard_stats,
+            "routing": self.routing.to_json(),
             "cache": self.cache.stats(),
+            "jobs": self.jobs.stats(),
             "requests": self.metrics.snapshot(),
             "uptime_s": self.metrics.uptime_s,
         }

@@ -27,11 +27,15 @@ __all__ = [
     "IngestRequest",
     "IndexRequest",
     "ReplicaRequest",
+    "JobSubmitRequest",
+    "RebalanceParams",
     "validate_search",
     "validate_sql",
     "validate_ingest",
     "validate_index",
     "validate_replicas",
+    "validate_job_submit",
+    "validate_rebalance_params",
     "PLANS",
     "ROUTES",
     "REPLICA_ACTIONS",
@@ -105,6 +109,21 @@ class ReplicaRequest:
     action: str
     shard: int
     replica: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class JobSubmitRequest:
+    type: str
+    params: Mapping[str, Any]
+    wait: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class RebalanceParams:
+    doc_lo: int
+    doc_hi: int
+    source: int
+    target: int
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +244,59 @@ def validate_replicas(payload: Any) -> ReplicaRequest:
     if action == "detach" and replica is None:
         raise ApiError(400, "'replica' names which replica to detach")
     return ReplicaRequest(action=action, shard=shard, replica=replica)
+
+
+def validate_job_submit(payload: Any) -> JobSubmitRequest:
+    """``POST /jobs`` body -> JobSubmitRequest.
+
+    Membership of ``type`` in the registry -- and the shape of
+    ``params`` -- are the owning service's call (``rebalance`` only
+    exists on the sharded service), so only the envelope is checked
+    here.
+    """
+    body = _mapping(payload)
+    job_type = _required_str(body, "type")
+    params = body.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ApiError(400, "'params' must be a JSON object")
+    wait = body.get("wait", False)
+    if not isinstance(wait, bool):
+        raise ApiError(400, "'wait' must be a boolean")
+    return JobSubmitRequest(type=job_type, params=params, wait=wait)
+
+
+def validate_rebalance_params(
+    params: Mapping[str, Any], num_shards: int
+) -> RebalanceParams:
+    """``rebalance`` job params -> RebalanceParams (sharded service)."""
+    body = _mapping(params)
+    doc_lo = _optional_int(body, "doc_lo", default=None, minimum=0)
+    doc_hi = _optional_int(body, "doc_hi", default=None, minimum=0)
+    if doc_lo is None or doc_hi is None:
+        raise ApiError(
+            400, "rebalance needs integer 'doc_lo' and 'doc_hi' bounds"
+        )
+    if doc_hi < doc_lo:
+        raise ApiError(400, "'doc_hi' must be >= 'doc_lo'")
+    source = _optional_int(body, "source", default=None, minimum=0)
+    target = _optional_int(body, "target", default=None, minimum=0)
+    if source is None or target is None:
+        raise ApiError(
+            400, "rebalance needs integer 'source' and 'target' shard indices"
+        )
+    for name, index in (("source", source), ("target", target)):
+        if index >= num_shards:
+            raise ApiError(
+                400,
+                f"unknown {name} shard {index}; this service has "
+                f"{num_shards} shards (0..{num_shards - 1})",
+                code="unknown_shard",
+            )
+    if source == target:
+        raise ApiError(400, "'source' and 'target' must be different shards")
+    return RebalanceParams(
+        doc_lo=doc_lo, doc_hi=doc_hi, source=source, target=target
+    )
 
 
 def validate_ingest(payload: Any) -> IngestRequest:

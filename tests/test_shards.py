@@ -10,6 +10,8 @@ cache invalidation plus the ``POST /index`` round-trip.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.bench.service_load import get_json, post_json
@@ -77,16 +79,25 @@ class TestMergeRanked:
         merged = merge_ranked([(0, a)], num_ans=2)
         assert len(merged) == 2
 
-    def test_full_ties_break_on_shard_index(self):
-        # Two shards each produce a row with identical probability,
-        # DocId and LineNo (re-ingested docs, or plain collisions); the
-        # shard index is the final key, so the merged order is the same
-        # no matter which fan-out leg delivered first.
+    def test_duplicate_lines_collapse_to_lowest_shard(self):
+        # The same (DocId, LineNo) from two shards happens only while a
+        # rebalance has copied a line to the target but not yet deleted
+        # it from the source (copies carry identical probabilities).
+        # The merge de-duplicates, keeping the sort-order first (lowest
+        # shard index), no matter which fan-out leg delivered first.
         tie = Answer(0, 5, 1, 0.5)
         forward = merge_ranked([(0, [tie]), (1, [tie])], num_ans=None)
         reverse = merge_ranked([(1, [tie]), (0, [tie])], num_ans=None)
         assert forward == reverse
-        assert [shard for shard, _ in forward] == [0, 1]
+        assert [shard for shard, _ in forward] == [0]
+
+    def test_distinct_lines_same_probability_all_survive(self):
+        # De-duplication is by (DocId, LineNo), never by probability:
+        # genuine ties between different lines keep every row.
+        a = Answer(0, 5, 1, 0.5)
+        b = Answer(0, 5, 2, 0.5)
+        merged = merge_ranked([(0, [a]), (1, [b])], num_ans=None)
+        assert [(s, x.line_no) for s, x in merged] == [(0, 1), (1, 2)]
 
 
 class TestShardSelectPlan:
@@ -308,9 +319,15 @@ class TestIndexEndpoint:
         pattern = r"REGEX:Public Law (8|9)\d"
         query = {"pattern": pattern, "plan": "indexed", "num_ans": 20}
 
-        status, reply = post_json(cluster.base_url, "/index", {"terms": terms})
+        # POST /index is a rebuild_index job now; "wait": true keeps the
+        # synchronous response shape (plus the job id) for clients that
+        # want it.
+        status, reply = post_json(
+            cluster.base_url, "/index", {"terms": terms, "wait": True}
+        )
         assert status == 200
         assert reply["approach"] == "staccato"
+        assert reply["job_id"]
         assert set(reply["shards"]) == {"0", "1"}
         assert all(s["reloaded"] for s in reply["shards"].values())
 
@@ -331,10 +348,19 @@ class TestIndexEndpoint:
         post_json(cluster.base_url, "/search", query)
         _, cached = post_json(cluster.base_url, "/search", query)
         assert cached["cached"] is True
-        status, _ = post_json(
+        # Default (no wait): 202 + the queued job row; poll to completion.
+        status, job = post_json(
             cluster.base_url, "/index", {"terms": ["employment"]}
         )
-        assert status == 200
+        assert status == 202
+        assert job["type"] == "rebuild_index"
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            _, row = get_json(cluster.base_url, f"/jobs/{job['id']}")
+            if row["state"] not in ("queued", "running"):
+                break
+            time.sleep(0.02)
+        assert row["state"] == "succeeded", row
         _, after = post_json(cluster.base_url, "/search", query)
         assert after["cached"] is False
 

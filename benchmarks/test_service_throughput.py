@@ -15,6 +15,10 @@ The rebalance bench is the maintenance counterpart: a background
 ``rebalance`` job moves a DocId range between two live shards while
 the load runs; the bar is zero client-visible errors in every window
 *and* merged ranked answers byte-identical before/after the move.
+
+The backends bench compares the two serving front ends (thread-per-
+request vs asyncio + bounded executor) on the thread-pinning scenario:
+fast indexed queries while slow filescans are held in flight.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.service_load import (
+    run_backend_comparison,
     run_failover_demo,
     run_rebalance_demo,
     run_sharded_comparison,
@@ -109,6 +114,50 @@ def test_failover_kill_replica_mid_load(report):
         census["healthy"] == census["attached"]
         for census in demo.healthy_after.values()
     )
+
+
+@pytest.mark.slow
+def test_backend_thread_vs_asyncio_under_scan_load(report):
+    # The ROADMAP's thread-pinning scenario: fast indexed queries must
+    # keep flowing while slow fullsfa filescans are held in flight, on
+    # both front ends.  The headline rows are the 'scans' windows.
+    comparison = run_backend_comparison(
+        docs=4,
+        lines=3,
+        slow_inflight=4,
+        fast_requests=20,
+        fast_concurrency=4,
+        k=4,
+        m=6,
+    )
+    rows = []
+    for profile in comparison.profiles:
+        for window, result in [
+            ("alone", profile.fast_alone),
+            ("scans", profile.fast_under_scans),
+        ]:
+            rows.append(
+                [
+                    profile.backend,
+                    window,
+                    f"{result.throughput_rps:.1f}",
+                    f"{result.latency_p50_ms:.1f}",
+                    f"{result.latency_p99_ms:.1f}",
+                    result.errors,
+                ]
+            )
+    report.table(
+        "Serving backends thread vs asyncio under filescan load",
+        ["backend", "window", "req/s", "p50 ms", "p99 ms", "errors"],
+        rows,
+    )
+    assert comparison.clean, rows
+    assert {p.backend for p in comparison.profiles} == {"thread", "asyncio"}
+    for profile in comparison.profiles:
+        # The scans really overlapped the fast window: at least one was
+        # still unfinished when the last fast request returned (else
+        # the 'scans' rows measured an idle service).
+        assert profile.slow_still_inflight >= 1, profile
 
 
 @pytest.mark.slow

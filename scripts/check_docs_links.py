@@ -8,7 +8,8 @@ Two checks:
    (external URLs and in-page anchors are skipped).
 2. **HTTP endpoints** -- every ``METHOD /path`` named in docs/API.md
    must have a handler registered in the route tables of
-   ``src/repro/service/server.py`` (exact routes like ``POST /jobs``,
+   ``src/repro/service/http_common.py``, the transport-independent
+   core both serving backends share (exact routes like ``POST /jobs``,
    or prefix routes like ``GET /jobs/<id>``).  Documenting an endpoint
    the server does not serve is exactly the drift this catches.
 
@@ -64,7 +65,7 @@ def check_file(path: pathlib.Path) -> list[str]:
 #: prose).  ``<id>``-style placeholders mark prefix-routed endpoints.
 ENDPOINT = re.compile(r"\b(GET|POST|PUT|PATCH|DELETE)\s+(/[A-Za-z0-9_/<>-]+)")
 
-#: Route tables in server.py: ``GET_ROUTES = {...}`` holds exact paths,
+#: Route tables in http_common.py: ``GET_ROUTES = {...}`` holds exact paths,
 #: ``GET_ARG_ROUTES = {...}`` holds prefixes whose trailing segment is
 #: passed to the handler (documented as ``/jobs/<id>``).
 ROUTE_TABLE = re.compile(
@@ -75,9 +76,9 @@ ROUTE_PATH = re.compile(r"\"(/[^\"]*)\"\s*:")
 
 
 def server_routes() -> dict[str, tuple[set[str], set[str]]]:
-    """Per method: the exact paths and argument prefixes server.py serves."""
+    """Per method: the exact paths and argument prefixes the API serves."""
     source = (
-        REPO_ROOT / "src" / "repro" / "service" / "server.py"
+        REPO_ROOT / "src" / "repro" / "service" / "http_common.py"
     ).read_text()
     routes: dict[str, tuple[set[str], set[str]]] = {}
     for method, is_prefix, body in ROUTE_TABLE.findall(source):
@@ -88,7 +89,7 @@ def server_routes() -> dict[str, tuple[set[str], set[str]]]:
 
 
 def check_endpoints() -> list[str]:
-    """Every endpoint docs/API.md names must be registered in server.py."""
+    """Every endpoint docs/API.md names must be registered in the core."""
     api = REPO_ROOT / "docs" / "API.md"
     if not api.is_file():
         return []
@@ -106,7 +107,7 @@ def check_endpoints() -> list[str]:
         if not served:
             problems.append(
                 f"docs/API.md: endpoint {method} {path} has no handler "
-                "registered in src/repro/service/server.py"
+                "registered in src/repro/service/http_common.py"
             )
     return problems
 

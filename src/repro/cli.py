@@ -18,9 +18,10 @@ Examples::
     python -m repro serve --shards 4 --shard-dir /tmp/shards --port 8080
     python -m repro serve --shards 2 --replicas 2 --shard-dir /tmp/shards
     python -m repro serve --db /tmp/ca.db --workers 4 --warm-start
+    python -m repro serve --db /tmp/ca.db --backend asyncio --max-inflight 16
 
 ``serve`` starts the concurrent query service of :mod:`repro.service`:
-a threaded JSON-over-HTTP server exposing ``POST /ingest`` (atomic
+a JSON-over-HTTP server exposing ``POST /ingest`` (atomic
 batch ingestion), ``POST /search`` (LIKE/regex, filescan/indexed/auto
 plans), ``POST /sql`` (the probabilistic SELECT surface), ``POST
 /index`` (dictionary-index rebuild plus pool broadcast), ``GET /stats``
@@ -34,7 +35,11 @@ shard with circuit-breaker failover (``POST /replicas`` attaches or
 detaches copies at runtime).  ``--workers N`` sizes the background job
 pool (``POST /jobs``: shard ``rebalance``, ``rebuild_index``,
 ``cache_snapshot``) and ``--warm-start`` replays the last cache
-snapshot so a restart does not begin cold.  The installed console
+snapshot so a restart does not begin cold.  ``--backend`` picks the
+front end -- ``thread`` (one OS thread per request) or ``asyncio`` (an
+event loop dispatching onto a ``--max-inflight``-wide executor, so
+slow filescans and idle keep-alive connections do not pin threads);
+the wire contract is identical either way.  The installed console
 script ``staccato`` is an alias for this module's ``main``.
 """
 
@@ -184,6 +189,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.max_inflight < 1:
+        print("error: --max-inflight must be >= 1", file=sys.stderr)
+        return 2
     serve_forever(
         args.db,
         host=args.host,
@@ -193,6 +201,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_dir=args.shard_dir,
         replicas=args.replicas,
         warm_start=args.warm_start,
+        backend=args.backend,
+        max_inflight=args.max_inflight,
         k=args.k,
         m=args.m,
         pool_size=args.pool_size,
@@ -283,6 +293,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warm-start", action="store_true",
                        help="reload the last cache_snapshot job's output "
                             "so the result cache does not start cold")
+    serve.add_argument(
+        "--backend", choices=("thread", "asyncio"), default="thread",
+        help="serving front end: one OS thread per request, or an "
+             "asyncio event loop dispatching onto a bounded executor",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="asyncio backend: blocking service calls running at once "
+             "(further requests queue on the event loop, not threads)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 picks a free one)")

@@ -2,12 +2,19 @@
 
 The paper stores OCR transducer approximations in an RDBMS so
 applications can query them like any other relation; this subsystem is
-the serving tier that promise implies -- a stdlib-only threaded HTTP
-server (no dependencies beyond ``http.server``) in front of one
-StaccatoDB file, or a shard router over many (see
-:mod:`repro.service.shards`).  Start it with::
+the serving tier that promise implies -- a stdlib-only HTTP server (no
+dependencies beyond the standard library) in front of one StaccatoDB
+file, or a shard router over many (see :mod:`repro.service.shards`).
+Two interchangeable front ends speak the same wire contract (routing,
+framing and payloads live in :mod:`repro.service.http_common`): the
+default thread-per-request backend (``http.server``) and an asyncio
+event-loop backend (:mod:`repro.service.aio`) that runs blocking
+service calls on a bounded executor, so idle keep-alive connections
+and queued slow filescans cost coroutines, not threads.  Start it
+with::
 
     python -m repro serve --db /tmp/ca.db --port 8080
+    python -m repro serve --db /tmp/ca.db --backend asyncio --max-inflight 16
     python -m repro serve --shards 4 --shard-dir /tmp/shards --port 8080
 
 or in-process (tests, examples)::
@@ -98,7 +105,9 @@ from .replicas import (
     ordered_locks,
     replica_path,
 )
+from .aio import AsyncHTTPServer
 from .server import (
+    BACKENDS,
     RunningService,
     build_server,
     serve_forever,
@@ -133,6 +142,8 @@ __all__ = [
     "ConnectionPool",
     "PoolClosed",
     "ApiError",
+    "AsyncHTTPServer",
+    "BACKENDS",
     "RunningService",
     "build_server",
     "serve_forever",

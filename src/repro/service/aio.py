@@ -1,0 +1,304 @@
+"""The asyncio serving front end (``serve --backend asyncio``).
+
+The paper's central serving tradeoff means a production mix of
+sub-millisecond index probes and multi-second filescans.  Under the
+thread-per-request backend every slow filescan -- and every idle
+keep-alive connection -- pins a whole OS thread.  This front end keeps
+connections on an event loop (a coroutine each, thousands are cheap)
+and runs the blocking service calls on a **bounded**
+:class:`~concurrent.futures.ThreadPoolExecutor` via
+``loop.run_in_executor``: ``--max-inflight`` threads do the database
+work while any number of queued or idle requests cost only memory.
+
+The wire contract is identical to :mod:`repro.service.server` because
+every decision that shapes a response -- routing, framing limits,
+error codes, ``(status, payload)`` normalization, metrics -- is made by
+the shared :mod:`repro.service.http_common` core.  Only the transport
+differs: stdlib ``asyncio.start_server`` speaking HTTP/1.1 with
+keep-alive, no new dependencies.
+
+:class:`AsyncHTTPServer` runs its event loop in a dedicated thread so
+the blocking entry points (:func:`repro.service.server.start_service`,
+``serve_forever``) drive either backend the same way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.client import responses as _REASONS
+
+from .http_common import (
+    HttpResponse,
+    body_length,
+    decode_json,
+    dispatch,
+    incomplete_body,
+    resolve,
+    respond,
+    split_path,
+    unread_body,
+)
+from .validation import ApiError
+
+__all__ = ["AsyncHTTPServer", "DEFAULT_MAX_INFLIGHT"]
+
+#: Default executor width: how many blocking service calls may run at
+#: once.  Everything beyond it queues as a pending future, not a thread.
+DEFAULT_MAX_INFLIGHT = 8
+
+#: Per-read timeout (request line, headers, body), mirroring the thread
+#: backend's socket timeout: a client that stalls mid-request must not
+#: hold its framing state forever.
+READ_TIMEOUT_S = 60.0
+
+
+class AsyncHTTPServer:
+    """An asyncio HTTP/1.1 server over one Query/ShardedQueryService.
+
+    The event loop runs in a dedicated daemon thread (``start()``); the
+    public surface mirrors what :class:`~repro.service.server.
+    RunningService` needs from the threaded server: ``server_address``,
+    ``shutdown()`` and ``server_close()``.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        verbose: bool = False,
+        timeout: float = READ_TIMEOUT_S,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.service = service
+        self.verbose = verbose
+        self.timeout = timeout
+        self.max_inflight = max_inflight
+        self.server_address: tuple[str, int] = (host, port)
+        self._requested = (host, port)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="staccato-aio"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> threading.Thread:
+        """Run the loop in a daemon thread; returns once the port is bound."""
+        thread = threading.Thread(
+            target=self._run, name="staccato-aio-loop", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("asyncio server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "asyncio server failed to bind"
+            ) from self._startup_error
+        return thread
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+        finally:
+            self._started.set()
+            # Drop queued work; in-flight calls finish on their own.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        host, port = self._requested
+        server = await asyncio.start_server(self._serve_connection, host, port)
+        self.server_address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        # asyncio.run cancels the per-connection tasks start_server
+        # spawned when this coroutine returns, closing every socket.
+        async with server:
+            await self._stop.wait()
+
+    def shutdown(self) -> None:
+        """Stop accepting and serving; callable from any thread."""
+        loop, stop = self._loop, self._stop
+        if loop is None or stop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:
+            pass  # loop already closing
+
+    def server_close(self) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    # ------------------------------------------------------------------
+    # One connection (keep-alive loop)
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        try:
+            while True:
+                request = await self._read_head(reader)
+                if request is None:
+                    return  # clean EOF / idle timeout between requests
+                method, target, version, headers = request
+                keep_alive = self._keep_alive(version, headers)
+                response, suppress_body = await self._process(
+                    method, target, headers, reader
+                )
+                if self.verbose:
+                    print(f'{peer} "{method} {target}" {response.status}')
+                keep_alive = keep_alive and not response.close
+                self._write(writer, response, keep_alive, suppress_body)
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass  # client went away or stalled; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, str, dict[str, str]] | None:
+        """Read and parse one request line plus headers; None on EOF."""
+        try:
+            line = await asyncio.wait_for(reader.readline(), self.timeout)
+        except asyncio.TimeoutError:
+            return None  # idle keep-alive connection timed out
+        except ValueError:
+            return None  # request line beyond the stream limit
+        if not line or not line.strip():
+            return None
+        try:
+            method, target, version = line.decode("latin-1").split()
+        except ValueError:
+            return None  # malformed request line; just drop the link
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                raw = await asyncio.wait_for(reader.readline(), self.timeout)
+            except (asyncio.TimeoutError, ValueError):
+                return None
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, version, headers
+
+    @staticmethod
+    def _keep_alive(version: str, headers: dict[str, str]) -> bool:
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    # ------------------------------------------------------------------
+    # One request
+    # ------------------------------------------------------------------
+    async def _process(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        reader: asyncio.StreamReader,
+    ) -> tuple[HttpResponse, bool]:
+        """Route, frame, dispatch; returns (response, suppress_body).
+
+        Matches the thread backend decision for decision: the same
+        ApiError at the same stage produces the same payload under the
+        same metrics endpoint label.
+        """
+        started = time.perf_counter()
+        declared = headers.get("content-length")
+        try:
+            routed = resolve(method, split_path(target))
+        except ApiError as exc:
+            # An unread request body would desynchronize keep-alive
+            # framing, so close after answering (the thread backend
+            # marks close_connection the same way).  A HEAD response
+            # suppresses the *response* body only; its request body,
+            # if declared, is still unread.
+            response = respond(
+                self.service, "unknown", exc.status, exc.to_payload(),
+                started, close=unread_body(declared),
+            )
+            return response, method == "HEAD"
+        payload: object = None
+        close = False
+        if routed.with_body:
+            try:
+                payload = await self._read_json(reader, declared)
+            except ApiError as exc:
+                response = respond(
+                    self.service, routed.endpoint, exc.status,
+                    exc.to_payload(), started,
+                    close=exc.close_connection,  # framing: body unread
+                )
+                return response, False
+        elif unread_body(declared):
+            close = True  # GET/DELETE body left unread: framing desync
+        status, result = await self._call(routed, payload)
+        return respond(
+            self.service, routed.endpoint, status, result, started,
+            close=close,
+        ), False
+
+    async def _call(self, routed, payload: object) -> tuple[int, dict]:
+        """Run the blocking service call on the bounded executor."""
+        assert self._loop is not None
+        return await self._loop.run_in_executor(
+            self._executor,
+            functools.partial(dispatch, self.service, routed, payload),
+        )
+
+    async def _read_json(
+        self, reader: asyncio.StreamReader, declared: str | None
+    ) -> object:
+        length = body_length(declared)
+        try:
+            raw = await asyncio.wait_for(
+                reader.readexactly(length), self.timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise incomplete_body(len(exc.partial), length) from None
+        except asyncio.TimeoutError:
+            raise incomplete_body(0, length) from None
+        return decode_json(raw)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write(
+        writer: asyncio.StreamWriter,
+        response: HttpResponse,
+        keep_alive: bool,
+        suppress_body: bool,
+    ) -> None:
+        reason = _REASONS.get(response.status, "")
+        head = [f"HTTP/1.1 {response.status} {reason}"]
+        head += [f"{name}: {value}" for name, value in response.headers]
+        head.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+        writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n")
+        if not suppress_body:  # a HEAD response states length, sends none
+            writer.write(response.body)

@@ -1,32 +1,47 @@
-"""The HTTP layer: routing, JSON framing and server lifecycle.
+"""The threaded HTTP front end, plus backend-agnostic server lifecycle.
 
-A thin shim over :class:`~repro.service.app.QueryService` built on the
-stdlib ``ThreadingHTTPServer`` (one thread per request, daemonic).  The
-handler reads a JSON body, dispatches to the matching service method,
-and writes the JSON response; every request -- including failures --
-is timed into the service's metrics registry.
+The thread-per-request backend: a thin shim over the stdlib
+``ThreadingHTTPServer`` (one daemonic thread per request).  Routing,
+JSON framing and response rendering live in the shared
+:mod:`repro.service.http_common` core, so this handler and the asyncio
+front end of :mod:`repro.service.aio` produce byte-identical payloads;
+only the transport differs.
 
-Two entry points:
+Two entry points drive either backend (``backend="thread"`` or
+``"asyncio"``):
 
-* :func:`start_service` -- start in a background thread on an ephemeral
-  port, returning a :class:`RunningService` handle (tests, examples);
+* :func:`start_service` / :func:`start_sharded_service` -- start in a
+  background thread on an ephemeral port, returning a
+  :class:`RunningService` handle (tests, examples);
 * :func:`serve_forever` -- blocking foreground server (the
   ``python -m repro serve`` command).
 """
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from .aio import DEFAULT_MAX_INFLIGHT, AsyncHTTPServer
 from .app import QueryService
+from .http_common import (
+    MAX_BODY_BYTES,  # noqa: F401  (re-exported; the historical home)
+    body_length,
+    decode_json,
+    dispatch,
+    incomplete_body,
+    resolve,
+    respond,
+    split_path,
+    unread_body,
+)
 from .shards import ShardedQueryService
 from .validation import ApiError
 
 __all__ = [
+    "BACKENDS",
     "build_server",
     "start_service",
     "start_sharded_service",
@@ -34,24 +49,8 @@ __all__ = [
     "RunningService",
 ]
 
-#: Largest accepted request body; OCR batches are text, so 32 MiB is
-#: generous while still bounding a misbehaving client.
-MAX_BODY_BYTES = 32 * 1024 * 1024
-
-GET_ROUTES = {"/health": "health", "/stats": "stats", "/jobs": "jobs_list"}
-POST_ROUTES = {
-    "/ingest": "ingest",
-    "/search": "search",
-    "/sql": "sql",
-    "/index": "index_job",
-    "/replicas": "replicas",
-    "/jobs": "jobs_submit",
-}
-DELETE_ROUTES: dict[str, str] = {}
-#: Prefix routes: the path segment after the prefix is passed to the
-#: service method as its argument (e.g. ``GET /jobs/<id>``).
-GET_ARG_ROUTES = {"/jobs/": "jobs_get"}
-DELETE_ARG_ROUTES = {"/jobs/": "jobs_cancel"}
+#: The serving front ends ``serve --backend`` can pick.
+BACKENDS = ("thread", "asyncio")
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -64,113 +63,79 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     timeout = 60.0
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _route(
-        path: str,
-        exact: dict[str, str],
-        by_prefix: dict[str, str] | None = None,
-    ) -> tuple[str, str | None] | None:
-        """Resolve a path to ``(endpoint, arg)`` -- exact first, then
-        prefix routes, whose trailing segment becomes the argument."""
-        endpoint = exact.get(path)
-        if endpoint is not None:
-            return endpoint, None
-        for prefix, endpoint in (by_prefix or {}).items():
-            if path.startswith(prefix) and len(path) > len(prefix):
-                return endpoint, path[len(prefix):]
-        return None
-
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        routed = self._route(self.path, GET_ROUTES, GET_ARG_ROUTES)
-        if routed is None:
-            self._dispatch_unknown()
-            return
-        self._dispatch(routed[0], with_body=False, arg=routed[1])
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        routed = self._route(self.path, POST_ROUTES)
-        if routed is None:
-            self._dispatch_unknown()
-            return
-        self._dispatch(routed[0], with_body=True, arg=routed[1])
+        self._handle("POST")
 
     def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
-        routed = self._route(self.path, DELETE_ROUTES, DELETE_ARG_ROUTES)
-        if routed is None:
-            self._dispatch_unknown()
-            return
-        self._dispatch(routed[0], with_body=False, arg=routed[1])
+        self._handle("DELETE")
+
+    def __getattr__(self, name: str):
+        # http.server dispatches on ``do_<METHOD>`` and answers an HTML
+        # 501 page when the attribute is missing; synthesizing a handler
+        # for every other method keeps the JSON-only contract (405 with
+        # an Allow header) for PUT/PATCH/HEAD/anything else.
+        if name.startswith("do_"):
+            return lambda: self._handle(name[3:])
+        raise AttributeError(name)
 
     # ------------------------------------------------------------------
-    def _dispatch_unknown(self) -> None:
-        known = sorted(GET_ROUTES) + sorted(POST_ROUTES)
-        known += [f"{prefix}<id>" for prefix in sorted(GET_ARG_ROUTES)]
-        known += [f"DELETE {prefix}<id>" for prefix in sorted(DELETE_ARG_ROUTES)]
-        error = ApiError(
-            404, f"no route for {self.path!r}; endpoints: {known}", "not_found"
-        )
-        self._finish("unknown", 404, error.to_payload(), time.perf_counter())
-
-    def _dispatch(
-        self, endpoint: str, with_body: bool, arg: str | None = None
-    ) -> None:
-        service = self.server.service
+    def _handle(self, method: str) -> None:
         started = time.perf_counter()
+        declared = self.headers.get("Content-Length")
         try:
-            if with_body:
-                payload = self._read_json()
-                result = getattr(service, endpoint)(payload)
-            elif arg is not None:
-                result = getattr(service, endpoint)(arg)
-            else:
-                result = getattr(service, endpoint)()
-            # A method may return (status, payload) -- e.g. job
-            # submission answers 202 Accepted with the queued job row.
-            if (
-                isinstance(result, tuple)
-                and len(result) == 2
-                and isinstance(result[0], int)
-            ):
-                status, result = result
-            else:
-                status = 200
+            routed = resolve(method, split_path(self.path))
         except ApiError as exc:
-            status, result = exc.status, exc.to_payload()
-        except Exception as exc:  # pragma: no cover - defensive boundary
-            status = 500
-            result = ApiError(
-                500, f"{type(exc).__name__}: {exc}", "internal_error"
-            ).to_payload()
-        self._finish(endpoint, status, result, started)
+            if unread_body(declared):
+                # The body was never read; reusing the connection would
+                # parse those bytes as the next request.
+                self.close_connection = True
+            self._finish(
+                "unknown", exc.status, exc.to_payload(), started,
+                suppress_body=method == "HEAD",
+            )
+            return
+        payload: object = None
+        if routed.with_body:
+            try:
+                payload = self._read_json(declared)
+            except ApiError as exc:
+                if exc.close_connection:  # framing error: body unread
+                    self.close_connection = True
+                self._finish(
+                    routed.endpoint, exc.status, exc.to_payload(), started
+                )
+                return
+        elif unread_body(declared):
+            self.close_connection = True  # GET/DELETE body left unread
+        status, result = dispatch(self.server.service, routed, payload)
+        self._finish(routed.endpoint, status, result, started)
 
     def _finish(
-        self, endpoint: str, status: int, payload: dict, started: float
+        self,
+        endpoint: str,
+        status: int,
+        payload: dict,
+        started: float,
+        suppress_body: bool = False,
     ) -> None:
-        elapsed = time.perf_counter() - started
-        self.server.service.metrics.observe(
-            endpoint, elapsed, error=status >= 400
+        response = respond(
+            self.server.service, endpoint, status, payload, started
         )
-        body = json.dumps(payload).encode("utf-8")
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
+            for name, value in response.headers:
+                self.send_header(name, value)
             self.end_headers()
-            self.wfile.write(body)
+            if not suppress_body:  # HEAD states the length, sends no body
+                self.wfile.write(response.body)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; nothing to salvage
 
-    def _read_json(self) -> object:
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-        except (TypeError, ValueError):
-            raise ApiError(400, "bad Content-Length header") from None
-        if length <= 0:
-            raise ApiError(400, "request needs a JSON body")
-        if length > MAX_BODY_BYTES:
-            raise ApiError(
-                413, f"body exceeds {MAX_BODY_BYTES} bytes", "payload_too_large"
-            )
+    def _read_json(self, declared: str | None) -> object:
+        length = body_length(declared)
         # One read() is not enough: a client that stalls or disconnects
         # mid-body yields a short read, which json.loads would misreport
         # as bad_json.  Loop until the declared length arrives (bounded
@@ -184,22 +149,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             except TimeoutError:
                 chunk = b""
             if not chunk:
-                # Drop keep-alive: bytes the client sends after the
-                # stall would otherwise be parsed as the next request.
-                self.close_connection = True
-                raise ApiError(
-                    400,
-                    f"request body ended after {received} of {length} "
-                    "declared bytes",
-                    "incomplete_body",
-                )
+                # incomplete_body carries close_connection: bytes the
+                # client sends after the stall would otherwise be
+                # parsed as the next request.
+                raise incomplete_body(received, length)
             chunks.append(chunk)
             received += len(chunk)
-        raw = b"".join(chunks)
-        try:
-            return json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ApiError(400, f"invalid JSON body: {exc}", "bad_json") from None
+        return decode_json(b"".join(chunks))
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
@@ -228,16 +184,22 @@ def build_server(
     port: int = 0,
     verbose: bool = False,
 ) -> ServiceHTTPServer:
-    """Bind (but do not run) the HTTP server; port 0 picks one free."""
+    """Bind (but do not run) the threaded server; port 0 picks one free."""
     return ServiceHTTPServer((host, port), service, verbose=verbose)
 
 
 @dataclass
 class RunningService:
-    """A service running in a background thread, with clean shutdown."""
+    """A service running in a background thread, with clean shutdown.
+
+    ``server`` is either a :class:`ServiceHTTPServer` (thread backend)
+    or an :class:`~repro.service.aio.AsyncHTTPServer` (asyncio
+    backend); both expose ``server_address``, ``shutdown()`` and
+    ``server_close()``.
+    """
 
     service: QueryService | ShardedQueryService
-    server: ServiceHTTPServer
+    server: ServiceHTTPServer | AsyncHTTPServer
     thread: threading.Thread
 
     @property
@@ -263,11 +225,27 @@ class RunningService:
         self.stop()
 
 
+def _check_backend(backend: str) -> None:
+    """Reject a bad backend name *before* any service is constructed --
+    the error path must not leak an open connection pool."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+
 def _start_in_thread(
     service: QueryService | ShardedQueryService,
     host: str,
     port: int,
+    backend: str = "thread",
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
 ) -> RunningService:
+    _check_backend(backend)
+    if backend == "asyncio":
+        aio = AsyncHTTPServer(
+            service, host=host, port=port, max_inflight=max_inflight
+        )
+        thread = aio.start()
+        return RunningService(service=service, server=aio, thread=thread)
     server = build_server(service, host=host, port=port)
     thread = threading.Thread(
         target=server.serve_forever, name="staccato-service", daemon=True
@@ -280,11 +258,18 @@ def start_service(
     db_path: str,
     host: str = "127.0.0.1",
     port: int = 0,
+    backend: str = "thread",
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
     **service_kwargs,
 ) -> RunningService:
     """Start a query service in a daemon thread; returns its handle."""
+    _check_backend(backend)
     return _start_in_thread(
-        QueryService(db_path, **service_kwargs), host, port
+        QueryService(db_path, **service_kwargs),
+        host,
+        port,
+        backend=backend,
+        max_inflight=max_inflight,
     )
 
 
@@ -293,13 +278,18 @@ def start_sharded_service(
     num_shards: int,
     host: str = "127.0.0.1",
     port: int = 0,
+    backend: str = "thread",
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
     **service_kwargs,
 ) -> RunningService:
     """Start a sharded query service in a daemon thread (tests, examples)."""
+    _check_backend(backend)
     return _start_in_thread(
         ShardedQueryService(shard_dir, num_shards, **service_kwargs),
         host,
         port,
+        backend=backend,
+        max_inflight=max_inflight,
     )
 
 
@@ -312,6 +302,8 @@ def serve_forever(
     shard_dir: str | None = None,
     replicas: int = 1,
     warm_start: bool = False,
+    backend: str = "thread",
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
     **service_kwargs,
 ) -> None:
     """Run the service in the foreground until interrupted (CLI path).
@@ -321,7 +313,11 @@ def serve_forever(
     (optionally with ``replicas`` read copies per shard).
     ``warm_start`` replays the last ``cache_snapshot`` job's output so
     the restarted service does not begin with a cold result cache.
+    ``backend`` picks the front end: ``"thread"`` (one OS thread per
+    request) or ``"asyncio"`` (event loop + a ``max_inflight``-wide
+    executor for the blocking service calls).
     """
+    _check_backend(backend)
     if shards > 0:
         if shard_dir is None:
             raise ValueError("sharded serving needs --shard-dir")
@@ -339,11 +335,19 @@ def serve_forever(
     if warm_start:
         loaded = service.warm_start()
         print(f"warm start: {loaded} cached result(s) restored")
-    server = build_server(service, host=host, port=port, verbose=verbose)
+    if backend == "asyncio":
+        server: ServiceHTTPServer | AsyncHTTPServer = AsyncHTTPServer(
+            service, host=host, port=port,
+            max_inflight=max_inflight, verbose=verbose,
+        )
+        loop_thread = server.start()
+    else:
+        server = build_server(service, host=host, port=port, verbose=verbose)
+        loop_thread = None
     bound_host, bound_port = server.server_address[:2]
     print(
         f"staccato service listening on http://{bound_host}:{bound_port} "
-        f"({target})"
+        f"({target}, backend={backend})"
     )
     print(
         "endpoints: GET /health, GET /stats, POST /ingest, "
@@ -351,9 +355,14 @@ def serve_forever(
         "POST /jobs, GET /jobs, GET /jobs/<id>, DELETE /jobs/<id>"
     )
     try:
-        server.serve_forever()
+        if loop_thread is not None:
+            loop_thread.join()
+        else:
+            server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if loop_thread is not None:
+            server.shutdown()
         server.server_close()
         service.close()

@@ -59,6 +59,12 @@ REPLICA_ACTIONS = ("attach", "detach")
 class ApiError(Exception):
     """A client-visible error with an HTTP status and stable code."""
 
+    #: Set by the HTTP framing layer on errors that leave request bytes
+    #: unread on the socket (bad/oversized Content-Length, truncated
+    #: body): the transport must drop keep-alive after responding, or
+    #: the leftover bytes would be parsed as the next request.
+    close_connection = False
+
     def __init__(
         self, status: int, message: str, code: str = "bad_request"
     ) -> None:

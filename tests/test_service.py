@@ -1,16 +1,22 @@
 """Tests for the query service (repro.service).
 
-Unit tests cover the cache, metrics and pool in isolation; the
-integration tests run a live ``ThreadingHTTPServer`` on an ephemeral
-port and exercise ingest -> search -> sql round-trips over real HTTP,
-including cache hit/miss behaviour, invalidation on ingest, concurrent
-clients and malformed-request handling.
+Unit tests cover the cache, metrics, pool and the shared HTTP core in
+isolation; the integration tests run a live server on an ephemeral
+port -- parameterized over **both** serving front ends (the threaded
+``http.server`` backend and the asyncio backend of
+:mod:`repro.service.aio`) -- and exercise ingest -> search -> sql
+round-trips over real HTTP, including cache hit/miss behaviour,
+invalidation on ingest, concurrent clients, malformed-request handling
+and cross-backend response equivalence.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import threading
+import time
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
@@ -21,6 +27,7 @@ from repro.db.engine import StaccatoDB
 from repro.db.sql import execute_select
 from repro.ocr.corpus import make_ca
 from repro.service import (
+    BACKENDS,
     ConnectionPool,
     PoolClosed,
     QueryCache,
@@ -28,7 +35,9 @@ from repro.service import (
     ServiceMetrics,
     start_service,
 )
+from repro.service import http_common
 from repro.service.metrics import percentile
+from repro.service.validation import ApiError
 
 K, M = 4, 6
 
@@ -196,11 +205,18 @@ def _batch_payload(corpus) -> dict:
     }
 
 
-@pytest.fixture(scope="module")
-def live(tmp_path_factory):
-    """A running service with one small CA batch already ingested."""
+@pytest.fixture(scope="module", params=list(BACKENDS))
+def live(request, tmp_path_factory):
+    """A running service with one small CA batch already ingested.
+
+    Parameterized over both serving front ends, so every HTTP
+    round-trip below is proof that the two backends honour the same
+    wire contract.
+    """
     db_path = str(tmp_path_factory.mktemp("service") / "ca.db")
-    running = start_service(db_path, k=K, m=M, pool_size=3, cache_size=64)
+    running = start_service(
+        db_path, k=K, m=M, pool_size=3, cache_size=64, backend=request.param
+    )
     corpus = make_ca(num_docs=2, lines_per_doc=3, seed=1)
     status, reply = post_json(running.base_url, "/ingest", _batch_payload(corpus))
     assert status == 200 and reply["ingested_lines"] == 6
@@ -451,3 +467,365 @@ class TestErrors:
         post_json(live.base_url, "/search", {})
         _, stats = get_json(live.base_url, "/stats")
         assert stats["requests"]["total_errors"] >= 1
+
+
+# ----------------------------------------------------------------------
+# The shared HTTP core (repro.service.http_common): the routing and
+# framing decisions both front ends delegate to.
+# ----------------------------------------------------------------------
+class TestHttpCommon:
+    def test_split_path_drops_query_string(self):
+        assert http_common.split_path("/health?probe=1") == "/health"
+        assert http_common.split_path("/jobs/abc?x=1&y=2") == "/jobs/abc"
+        assert http_common.split_path("/stats") == "/stats"
+
+    def test_resolve_exact_and_prefix(self):
+        routed = http_common.resolve("GET", "/health")
+        assert (routed.endpoint, routed.arg, routed.with_body) == (
+            "health", None, False
+        )
+        routed = http_common.resolve("GET", "/jobs/abc123")
+        assert (routed.endpoint, routed.arg) == ("jobs_get", "abc123")
+        routed = http_common.resolve("DELETE", "/jobs/abc123")
+        assert (routed.endpoint, routed.arg) == ("jobs_cancel", "abc123")
+        assert http_common.resolve("POST", "/search").with_body is True
+
+    def test_resolve_rejects_embedded_slash_in_prefix_arg(self):
+        with pytest.raises(ApiError) as excinfo:
+            http_common.resolve("GET", "/jobs/abc/def")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not_found"
+
+    def test_resolve_unknown_method_is_405(self):
+        for method in ("PUT", "PATCH", "HEAD", "OPTIONS", "TRACE"):
+            with pytest.raises(ApiError) as excinfo:
+                http_common.resolve(method, "/search")
+            assert excinfo.value.status == 405
+            assert excinfo.value.code == "method_not_allowed"
+
+    def test_body_length_framing_codes(self):
+        assert http_common.body_length("12") == 12
+        with pytest.raises(ApiError) as excinfo:
+            http_common.body_length("nope")
+        assert excinfo.value.status == 400
+        with pytest.raises(ApiError) as excinfo:
+            http_common.body_length(None)
+        assert "JSON body" in excinfo.value.message
+        with pytest.raises(ApiError) as excinfo:
+            http_common.body_length(str(http_common.MAX_BODY_BYTES + 1))
+        assert excinfo.value.code == "payload_too_large"
+
+    def test_dispatch_normalizes_status_payload_tuples(self):
+        class Stub:
+            def plain(self):
+                return {"ok": True}
+
+            def tuple_status(self):
+                return 202, {"queued": True}
+
+            def boom(self):
+                raise ValueError("nope")
+
+        routed = http_common.Routed("plain", None, False)
+        assert http_common.dispatch(Stub(), routed) == (200, {"ok": True})
+        routed = http_common.Routed("tuple_status", None, False)
+        assert http_common.dispatch(Stub(), routed) == (202, {"queued": True})
+        routed = http_common.Routed("boom", None, False)
+        status, payload = http_common.dispatch(Stub(), routed)
+        assert status == 500
+        assert payload["error"]["code"] == "internal_error"
+
+
+# ----------------------------------------------------------------------
+# HTTP-layer regressions, run against both backends via `live`.
+# ----------------------------------------------------------------------
+class TestHttpLayerRegressions:
+    def test_query_string_does_not_404(self, live):
+        # Routing used to match on the raw target, so any query string
+        # missed every route.
+        status, body = get_json(live.base_url, "/health?probe=1")
+        assert status == 200 and body["status"] == "ok"
+        status, body = get_json(live.base_url, "/stats?pretty=1")
+        assert status == 200 and "requests" in body
+
+    def test_prefix_route_rejects_embedded_slash(self, live):
+        # /jobs/abc/def used to pass "abc/def" as the job id and leak
+        # a confusing job_not_found.
+        status, body = get_json(live.base_url, "/jobs/abc/def")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    @pytest.mark.parametrize("method", ["PUT", "PATCH"])
+    def test_unknown_method_is_json_405(self, live, method):
+        # These used to fall through to http.server's HTML 501 page.
+        conn = http.client.HTTPConnection("127.0.0.1", live.port, timeout=10)
+        try:
+            conn.request(method, "/search", body=b"{}",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        assert response.status == 405
+        assert response.getheader("Content-Type") == "application/json"
+        assert response.getheader("Allow") == "DELETE, GET, POST"
+        body = json.loads(raw)
+        assert body["error"]["code"] == "method_not_allowed"
+
+    def test_head_is_405_with_headers_and_no_body(self, live):
+        conn = http.client.HTTPConnection("127.0.0.1", live.port, timeout=10)
+        try:
+            conn.request("HEAD", "/health")
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        assert response.status == 405
+        assert response.getheader("Content-Type") == "application/json"
+        assert response.getheader("Allow") == "DELETE, GET, POST"
+        assert raw == b""  # HEAD states the length but sends no body
+
+    def test_incomplete_body_keeps_its_error_code(self, live):
+        # Declare 100 bytes, send 10, hang up: the framing loop must
+        # answer incomplete_body, not bad_json.
+        status, headers, body = _raw_http(
+            live.port,
+            b"POST /search HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Type: application/json\r\n"
+            b"Content-Length: 100\r\n\r\n"
+            b'{"pattern"',
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "incomplete_body"
+
+    def test_oversized_declaration_is_413(self, live):
+        status, headers, body = _raw_http(
+            live.port,
+            b"POST /search HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Type: application/json\r\n"
+            b"Content-Length: 999999999\r\n\r\n",
+        )
+        assert status == 413
+        assert json.loads(body)["error"]["code"] == "payload_too_large"
+
+    def test_unconsumed_body_drops_keepalive(self, live):
+        # A 413 answered without reading the declared body must close
+        # the connection: otherwise the unread bytes are parsed as the
+        # next request (here they spell a valid pipelined GET, which a
+        # buggy server would answer -- or worse, answer as garbage).
+        pipelined = (
+            b"POST /search HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Length: 999999999\r\n\r\n"
+            b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        status, headers, body = _raw_http(live.port, pipelined)
+        assert status == 413
+        # Exactly one response came back: the connection closed after
+        # the 413 instead of mis-parsing the leftover bytes.
+        assert len(body) == int(headers["content-length"])
+
+    def test_head_with_body_drops_keepalive(self, live):
+        # HEAD suppresses the *response* body, but a HEAD request that
+        # declared a *request* body still left it unread -- the
+        # connection must close, not serve the body bytes as a request.
+        status, headers, body = _raw_http(
+            live.port,
+            b"HEAD /health HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Length: 5\r\n\r\nhello"
+            b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        assert status == 405
+        assert body == b""  # no response body, and no second response
+
+
+def _raw_http(port: int, request: bytes) -> tuple[int, dict, bytes]:
+    """Send raw bytes, half-close, read the whole response."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(request)
+        sock.shutdown(socket.SHUT_WR)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+# ----------------------------------------------------------------------
+# Cross-backend equivalence: the same request sequence against a
+# thread-backed and an asyncio-backed service must produce
+# byte-identical payloads (volatile fields like timings masked).
+# ----------------------------------------------------------------------
+#: Values that legitimately differ across two service instances or two
+#: runs: timings, absolute paths, and generated job ids.
+_VOLATILE_KEYS = {
+    "elapsed_s", "uptime_s", "latency_ms", "journal", "created_at",
+    "started_at", "finished_at", "id", "job_id", "path", "db", "bytes",
+}
+
+
+def _canonical(payload: object) -> bytes:
+    def mask(node):
+        if isinstance(node, dict):
+            return {
+                key: "<volatile>" if key in _VOLATILE_KEYS else mask(value)
+                for key, value in node.items()
+            }
+        if isinstance(node, list):
+            return [mask(item) for item in node]
+        return node
+
+    return json.dumps(mask(payload), sort_keys=True).encode("utf-8")
+
+
+#: One request per endpoint and per error family, including the routes
+#: the bugfix sweep touched (query strings, embedded slashes).
+_EQUIVALENCE_CASES = [
+    ("GET", "/health", None),
+    ("GET", "/health?probe=1", None),
+    ("GET", "/stats", None),
+    ("POST", "/search", {"pattern": "%Congress%", "num_ans": 10}),
+    ("POST", "/search", {"pattern": "%Law%", "plan": "indexed"}),
+    ("POST", "/search", {"pattern": "%a%", "approach": "nope"}),
+    ("POST", "/search", {}),
+    ("POST", "/search", {"pattern": "%a%", "shards": [0]}),
+    ("POST", "/sql",
+     {"query": "SELECT DocId FROM Claims WHERE DocData LIKE '%Congress%'"}),
+    ("POST", "/sql", {"query": "DELETE FROM Claims"}),
+    ("POST", "/replicas", {"action": "attach", "shard": 0}),
+    ("GET", "/jobs", None),
+    ("GET", "/jobs/zzz", None),
+    ("GET", "/jobs/abc/def", None),
+    ("DELETE", "/jobs/zzz", None),
+    ("POST", "/jobs", {"type": "nope", "params": {}}),
+    ("GET", "/nope", None),
+    ("PUT", "/search", {}),
+    ("PATCH", "/health", {}),
+    ("POST", "/index",
+     {"terms": ["public", "law"], "wait": True}),
+]
+
+
+def _http_case(base_url: str, method: str, path: str, body):
+    if method == "GET":
+        return get_json(base_url, path)
+    if method == "POST":
+        return post_json(base_url, path, body)
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base_url + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestBackendEquivalence:
+    def test_byte_identical_payloads_across_backends(self, tmp_path):
+        """Every endpoint (and error) answers identically on both backends.
+
+        Two fresh services over identically ingested databases (the OCR
+        channel is deterministic) receive the same request sequence;
+        the collected payloads must match byte for byte once volatile
+        fields (timings, paths, job ids) are masked.
+        """
+        corpus = make_ca(num_docs=2, lines_per_doc=3, seed=1)
+        transcripts = {}
+        for backend in BACKENDS:
+            running = start_service(
+                str(tmp_path / f"{backend}.db"),
+                k=K, m=M, pool_size=2, cache_size=0, backend=backend,
+            )
+            try:
+                status, reply = post_json(
+                    running.base_url, "/ingest", _batch_payload(corpus)
+                )
+                transcript = [("ingest", status, _canonical(reply))]
+                for method, path, body in _EQUIVALENCE_CASES:
+                    status, reply = _http_case(
+                        running.base_url, method, path, body
+                    )
+                    transcript.append(
+                        (f"{method} {path}", status, _canonical(reply))
+                    )
+            finally:
+                running.stop()
+            transcripts[backend] = transcript
+        thread_t, asyncio_t = (transcripts[b] for b in BACKENDS)
+        assert len(thread_t) == len(asyncio_t)
+        for threaded, eventloop in zip(thread_t, asyncio_t):
+            assert threaded == eventloop, (
+                f"backend divergence on {threaded[0]}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Concurrency: slow filescans must not block fast queries on the
+# asyncio backend (the thread-pinning scenario from the ROADMAP).
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestSlowScansDoNotBlockFast:
+    def test_fast_search_completes_while_slow_scans_in_flight(self, tmp_path):
+        slow_inflight = 4
+        running = start_service(
+            str(tmp_path / "aio.db"),
+            k=K, m=M,
+            pool_size=slow_inflight + 2,
+            cache_size=64,
+            backend="asyncio",
+            max_inflight=slow_inflight + 2,
+        )
+        try:
+            corpus = make_ca(num_docs=2, lines_per_doc=3, seed=1)
+            status, _ = post_json(
+                running.base_url, "/ingest", _batch_payload(corpus)
+            )
+            assert status == 200
+            # Deterministic slowness: wrap the service's search so the
+            # marker pattern sleeps on its executor thread, exactly like
+            # a multi-second filescan would.
+            original = running.service.search
+            hold_s = 5.0
+
+            def search_with_slow_marker(payload):
+                if "SLOWSCAN" in str(payload.get("pattern", "")):
+                    time.sleep(hold_s)
+                return original(payload)
+
+            running.service.search = search_with_slow_marker
+            with ThreadPoolExecutor(max_workers=slow_inflight) as scans:
+                futures = [
+                    scans.submit(
+                        post_json,
+                        running.base_url,
+                        "/search",
+                        {"pattern": f"%SLOWSCAN {i}%"},
+                    )
+                    for i in range(slow_inflight)
+                ]
+                time.sleep(0.5)  # let every slow request reach a worker
+                started = time.perf_counter()
+                status, body = post_json(
+                    running.base_url, "/search", {"pattern": "%Congress%"}
+                )
+                fast_elapsed = time.perf_counter() - started
+                still_running = [f for f in futures if not f.done()]
+                # The fast query finished while every slow scan was
+                # still held open -- no thread-pinning, no queueing
+                # behind the scans.
+                assert status == 200
+                assert fast_elapsed < hold_s / 2, fast_elapsed
+                assert len(still_running) == slow_inflight
+                for future in futures:
+                    status, _ = future.result()
+                    assert status == 200
+        finally:
+            running.stop()

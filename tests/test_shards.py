@@ -552,3 +552,67 @@ class TestShardedOps:
             assert body["plan"] == "indexed"
         finally:
             service.close()
+
+
+# ----------------------------------------------------------------------
+# The asyncio front end serves the sharded flavour too: same merged
+# ranking as the threaded cluster, and the admin surface (/replicas,
+# /jobs) answers through the event loop + executor path.
+# ----------------------------------------------------------------------
+class TestAsyncioBackendServesShards:
+    def test_sharded_service_on_asyncio_backend(self, tmp_path, corpus, single):
+        shard_dir = str(tmp_path / "aio-shards")
+        running = start_sharded_service(
+            shard_dir,
+            NUM_SHARDS,
+            k=K,
+            m=M,
+            pool_size=2,
+            cache_size=64,
+            range_width=RANGE_WIDTH,
+            backend="asyncio",
+        )
+        try:
+            status, reply = post_json(
+                running.base_url, "/ingest", _batch_payload(corpus)
+            )
+            assert status == 200
+            assert reply["ingested_lines"] == corpus.num_lines
+
+            query = {"pattern": "%Congress%", "approach": "staccato",
+                     "num_ans": 20}
+            expected = single.search(query)
+            status, body = post_json(running.base_url, "/search", query)
+            assert status == 200 and body["count"] == expected["count"]
+            assert [
+                (a["doc_id"], a["line_no"], a["probability"])
+                for a in body["answers"]
+            ] == [
+                (a["doc_id"], a["line_no"], pytest.approx(a["probability"]))
+                for a in expected["answers"]
+            ]
+
+            # /replicas: attach one copy to shard 0 at runtime.
+            status, body = post_json(
+                running.base_url, "/replicas", {"action": "attach", "shard": 0}
+            )
+            assert status == 200 and body["action"] == "attach"
+            assert len(body["replicas"]) >= 2
+
+            # /jobs: a rebuild_index job through the executor path.
+            status, row = post_json(
+                running.base_url,
+                "/jobs",
+                {"type": "rebuild_index",
+                 "params": {"terms": ["public", "law"]},
+                 "wait": True},
+            )
+            assert status == 200 and row["state"] == "succeeded"
+            status, listing = get_json(running.base_url, "/jobs")
+            assert status == 200
+            assert any(job["id"] == row["id"] for job in listing["jobs"])
+
+            status, health = get_json(running.base_url, "/health?verbose=1")
+            assert status == 200 and health["num_shards"] == NUM_SHARDS
+        finally:
+            running.stop()

@@ -6,14 +6,16 @@ Two checks:
 1. **Relative links** -- every markdown link and image target in
    README.md / docs/*.md must resolve to an existing file or directory
    (external URLs and in-page anchors are skipped).
-2. **HTTP endpoints** -- every ``METHOD /path`` named in docs/API.md
-   must have a handler registered in the route tables of
-   ``src/repro/service/http_common.py``, the transport-independent
+2. **HTTP endpoints, both directions** -- every ``METHOD /path`` named
+   in docs/API.md must have a handler registered in the route tables
+   of ``src/repro/service/http_common.py``, the transport-independent
    core both serving backends share (exact routes like ``POST /jobs``,
-   or prefix routes like ``GET /jobs/<id>``).  Documenting an endpoint
-   the server does not serve is exactly the drift this catches.
+   or prefix routes like ``GET /jobs/<id>``), **and** every route
+   those tables register must be named in docs/API.md.  Documenting an
+   endpoint the server does not serve -- or shipping one the reference
+   never mentions -- is exactly the drift this catches.
 
-Exits 1 listing every broken link / undocumented-but-served mismatch.
+Exits 1 listing every broken link / served-vs-documented mismatch.
 
 Run:  python scripts/check_docs_links.py
 """
@@ -112,14 +114,43 @@ def check_endpoints() -> list[str]:
     return problems
 
 
+def check_served_documented() -> list[str]:
+    """Every route the core registers must be named in docs/API.md."""
+    api = REPO_ROOT / "docs" / "API.md"
+    if not api.is_file():
+        return []
+    documented = set(ENDPOINT.findall(api.read_text()))
+    problems = []
+    for method, (exact, prefixes) in sorted(server_routes().items()):
+        for path in sorted(exact):
+            if (method, path) not in documented:
+                problems.append(
+                    f"docs/API.md: served endpoint {method} {path} "
+                    "is not documented"
+                )
+        for prefix in sorted(prefixes):
+            # A prefix route is documented as e.g. ``GET /jobs/<id>``.
+            if not any(
+                m == method and p.startswith(prefix) and "<" in p
+                for m, p in documented
+            ):
+                problems.append(
+                    f"docs/API.md: served endpoint {method} {prefix}<arg> "
+                    "is not documented"
+                )
+    return problems
+
+
 def main() -> int:
     files = doc_files()
     broken = [problem for path in files for problem in check_file(path)]
     broken += check_endpoints()
+    broken += check_served_documented()
     for problem in broken:
         print(problem, file=sys.stderr)
     print(
-        f"checked {len(files)} markdown files + docs/API.md endpoints: "
+        f"checked {len(files)} markdown files + docs/API.md endpoints "
+        f"(both directions): "
         f"{'OK' if not broken else f'{len(broken)} problems'}"
     )
     return 1 if broken else 0

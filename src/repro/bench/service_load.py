@@ -133,15 +133,36 @@ class LoadResult:
     latency_p50_ms: float
     latency_p95_ms: float
     latency_p99_ms: float
+    #: Mean milliseconds per span name across the traced sample of this
+    #: load (``trace_sample > 0``), or None when nothing was traced.
+    span_breakdown: dict[str, float] | None = None
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.requests} requests ({self.errors} errors) in "
             f"{self.elapsed_s:.2f}s = {self.throughput_rps:.1f} req/s; "
             f"latency p50={self.latency_p50_ms:.1f}ms "
             f"p95={self.latency_p95_ms:.1f}ms "
             f"p99={self.latency_p99_ms:.1f}ms"
         )
+        if self.span_breakdown:
+            spans = ", ".join(
+                f"{name}={millis:.2f}ms"
+                for name, millis in sorted(
+                    self.span_breakdown.items(),
+                    key=lambda item: item[1],
+                    reverse=True,
+                )
+            )
+            text += f"; span means: {spans}"
+        return text
+
+
+def _accumulate_span_times(tree: dict, acc: dict[str, float]) -> None:
+    """Sum each span name's total milliseconds within one trace tree."""
+    acc[tree["name"]] = acc.get(tree["name"], 0.0) + tree["duration_ms"]
+    for child in tree.get("children", ()):
+        _accumulate_span_times(child, acc)
 
 
 def run_search_load(
@@ -153,8 +174,16 @@ def run_search_load(
     concurrency: int = 8,
     repeats: int = 5,
     timeout: float = DEFAULT_TIMEOUT,
+    trace_sample: int = 0,
 ) -> LoadResult:
-    """Fire ``len(patterns) * repeats`` concurrent ``/search`` requests."""
+    """Fire ``len(patterns) * repeats`` concurrent ``/search`` requests.
+
+    ``trace_sample=N`` adds ``"trace": true`` to every Nth request; the
+    echoed span trees are aggregated into
+    :attr:`LoadResult.span_breakdown` (mean milliseconds per span name
+    across the traced sample), attributing where the serving time went
+    without tracing -- or paying for -- the whole load.
+    """
     bodies = [
         {
             "pattern": pattern,
@@ -165,22 +194,39 @@ def run_search_load(
         for _ in range(repeats)
         for pattern in patterns
     ]
+    if trace_sample > 0:
+        for index in range(0, len(bodies), trace_sample):
+            bodies[index] = {**bodies[index], "trace": True}
 
-    def one(body: dict) -> tuple[float, bool]:
+    def one(body: dict) -> tuple[float, bool, dict | None]:
         started = time.perf_counter()
+        tree = None
         try:
-            status, _ = post_json(base_url, "/search", body, timeout=timeout)
+            status, reply = post_json(
+                base_url, "/search", body, timeout=timeout
+            )
             failed = status != 200
+            if not failed and isinstance(reply, dict):
+                tree = (reply.get("trace") or {}).get("spans")
         except (urllib.error.URLError, OSError, json.JSONDecodeError):
             failed = True
-        return time.perf_counter() - started, failed
+        return time.perf_counter() - started, failed, tree
 
     started = time.perf_counter()
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
         outcomes = list(pool.map(one, bodies))
     elapsed = time.perf_counter() - started
-    latencies = [seconds * 1000.0 for seconds, _ in outcomes]
-    errors = sum(1 for _, failed in outcomes if failed)
+    latencies = [seconds * 1000.0 for seconds, _, _ in outcomes]
+    errors = sum(1 for _, failed, _ in outcomes if failed)
+    trees = [tree for _, _, tree in outcomes if tree]
+    breakdown: dict[str, float] | None = None
+    if trees:
+        totals: dict[str, float] = {}
+        for tree in trees:
+            _accumulate_span_times(tree, totals)
+        breakdown = {
+            name: total / len(trees) for name, total in totals.items()
+        }
     return LoadResult(
         requests=len(bodies),
         errors=errors,
@@ -189,6 +235,7 @@ def run_search_load(
         latency_p50_ms=percentile(latencies, 50),
         latency_p95_ms=percentile(latencies, 95),
         latency_p99_ms=percentile(latencies, 99),
+        span_breakdown=breakdown,
     )
 
 
@@ -227,6 +274,17 @@ class ShardedComparison:
                     )
                 )
             )
+        for name, result in rows:
+            if result.span_breakdown:
+                spans = ", ".join(
+                    f"{span}={millis:.2f}ms"
+                    for span, millis in sorted(
+                        result.span_breakdown.items(),
+                        key=lambda item: item[1],
+                        reverse=True,
+                    )
+                )
+                lines.append(f"{name} span means (traced sample): {spans}")
         return "\n".join(lines)
 
 
@@ -263,13 +321,15 @@ def run_sharded_comparison(
     m: int = 6,
     range_width: int = 1,
     backend: str = "thread",
+    trace_sample: int = 0,
 ) -> ShardedComparison:
     """Seed and drive a single-db and an N-shard service identically.
 
     ``range_width=1`` stripes the corpus's consecutive DocIds across
     every shard, so the sharded topology really measures partitioned
     data (the library default of 64 would park a small corpus entirely
-    on shard 0).
+    on shard 0).  ``trace_sample=N`` traces every Nth request and adds
+    the mean per-span breakdown to the report.
     """
     from ..ocr.corpus import make_ca
     from ..service import start_service, start_sharded_service
@@ -280,6 +340,7 @@ def run_sharded_comparison(
         num_ans=num_ans,
         concurrency=concurrency,
         repeats=repeats,
+        trace_sample=trace_sample,
     )
     with tempfile.TemporaryDirectory() as tmp:
         single = start_service(
@@ -965,6 +1026,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=4)
     parser.add_argument("--m", type=int, default=6)
     parser.add_argument(
+        "--trace-sample", type=int, default=0, metavar="N",
+        help="compare mode: send 'trace': true on every Nth request and "
+             "report the mean per-span time breakdown (0 disables)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="report path ('-' prints only; default depends on --mode)",
@@ -1037,6 +1103,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             k=args.k,
             m=args.m,
             backend=args.backend,
+            trace_sample=args.trace_sample,
         )
         title = (
             f"service throughput: {comparison.corpus_lines}-line corpus, "

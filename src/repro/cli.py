@@ -192,6 +192,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_inflight < 1:
         print("error: --max-inflight must be >= 1", file=sys.stderr)
         return 2
+    if args.trace_ring < 1:
+        print("error: --trace-ring must be >= 1", file=sys.stderr)
+        return 2
+    if args.slow_query_ms is not None and args.slow_query_ms < 0:
+        print("error: --slow-query-ms must be >= 0", file=sys.stderr)
+        return 2
     serve_forever(
         args.db,
         host=args.host,
@@ -209,6 +215,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         index_approach=args.index_approach,
         workers=args.workers,
+        trace_enabled=not args.no_trace,
+        trace_ring=args.trace_ring,
+        slow_query_ms=args.slow_query_ms,
+        slow_log_path=args.slow_query_log,
+        access_log_path=args.access_log,
     )
     return 0
 
@@ -318,6 +329,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="disable request tracing (GET /traces empties; "
+                            "slow-query and access logs need tracing)")
+    serve.add_argument("--trace-ring", type=int, default=256,
+                       help="finished traces kept in memory for GET /traces")
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=None,
+        help="log a JSON line with the full span tree for any request "
+             "slower than this many milliseconds",
+    )
+    serve.add_argument(
+        "--slow-query-log", default=None, metavar="PATH",
+        help="slow-query log destination ('-' or unset: stderr)",
+    )
+    serve.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="structured JSON access log, one line per request "
+             "('-' for stderr)",
+    )
     serve.set_defaults(func=_cmd_serve)
     return parser
 

@@ -48,6 +48,25 @@ __all__ = [
 
 APPROACHES = ("map", "kmap", "fullsfa", "staccato")
 
+_trace_span = None
+
+
+def _span(name: str, **attrs):
+    """A service-trace span around engine work (no-op outside a trace).
+
+    The service layer imports this module, so importing
+    :mod:`repro.service.trace` at the top would be circular; the first
+    traced call resolves it instead.  Outside a traced request the span
+    helper is a cheap no-op, so standalone engine use (benchmarks,
+    scripts) pays one ContextVar read per query.
+    """
+    global _trace_span
+    if _trace_span is None:
+        from ..service.trace import span as _service_span
+
+        _trace_span = _service_span
+    return _trace_span(name, **attrs)
+
 #: File-name pattern of one shard inside a shard directory.
 SHARD_FILE_FORMAT = "shard-{index:04d}.db"
 _SHARD_FILE_RE = re.compile(r"^shard-(\d{4})\.db$")
@@ -195,27 +214,35 @@ class StaccatoDB:
             else storage.all_data_keys(self.conn)
         )
         answers = []
-        for data_key in keys:
-            try:
-                prob = self._probability_with_query(query, approach, data_key)
-                if prob <= 0.0:
+        with _span("engine_scan", approach=approach) as scan:
+            for data_key in keys:
+                try:
+                    prob = self._probability_with_query(
+                        query, approach, data_key
+                    )
+                    if prob <= 0.0:
+                        continue
+                    doc_id, line_no = storage.line_metadata(
+                        self.conn, data_key
+                    )
+                except KeyError:
+                    # The line vanished between the key listing and its
+                    # evaluation -- a concurrent delete committed (e.g. a
+                    # rebalance moved it to another shard after copying it
+                    # there).  It is no longer part of this file's
+                    # relation; autocommit readers see each statement's
+                    # latest state.
                     continue
-                doc_id, line_no = storage.line_metadata(self.conn, data_key)
-            except KeyError:
-                # The line vanished between the key listing and its
-                # evaluation -- a concurrent delete committed (e.g. a
-                # rebalance moved it to another shard after copying it
-                # there).  It is no longer part of this file's relation;
-                # autocommit readers see each statement's latest state.
-                continue
-            answers.append(
-                Answer(
-                    line_id=data_key,
-                    doc_id=doc_id,
-                    line_no=line_no,
-                    probability=prob,
+                answers.append(
+                    Answer(
+                        line_id=data_key,
+                        doc_id=doc_id,
+                        line_no=line_no,
+                        probability=prob,
+                    )
                 )
-            )
+            if scan is not None:
+                scan.annotate(lines=len(keys), matches=len(answers))
         return rank_answers(answers, num_ans=num_ans)
 
     # ------------------------------------------------------------------
@@ -345,38 +372,52 @@ class StaccatoDB:
         """
         if not self.index_covers(like, approach):
             return self.search(like, approach=approach, num_ans=num_ans)
-        anchor = anchor_for_query(like, self._trie)
-        candidates = self.index_postings(anchor)
+        with _span("engine_probe", approach=approach) as probe:
+            anchor = anchor_for_query(like, self._trie)
+            candidates = self.index_postings(anchor)
+            if probe is not None:
+                probe.annotate(
+                    anchor=anchor,
+                    candidates=len(candidates),
+                    postings=sum(len(p) for p in candidates.values()),
+                )
         if not candidates:
             return []
         query = compile_like(like)
         answers = []
-        for data_key, postings in candidates.items():
-            try:
-                if approach == "staccato" and use_projection:
-                    graph = storage.load_staccato(self.conn, data_key)
-                    prob = projected_match_probability(
-                        graph, query, postings, window
+        with _span(
+            "engine_eval", projected=approach == "staccato" and use_projection
+        ) as ev:
+            for data_key, postings in candidates.items():
+                try:
+                    if approach == "staccato" and use_projection:
+                        graph = storage.load_staccato(self.conn, data_key)
+                        prob = projected_match_probability(
+                            graph, query, postings, window
+                        )
+                    else:
+                        prob = self._probability_with_query(
+                            query, approach, data_key
+                        )
+                    if prob <= 0.0:
+                        continue
+                    doc_id, line_no = storage.line_metadata(
+                        self.conn, data_key
                     )
-                else:
-                    prob = self._probability_with_query(
-                        query, approach, data_key
-                    )
-                if prob <= 0.0:
+                except KeyError:
+                    # Candidate deleted since the posting lookup (see the
+                    # filescan plan's identical guard).
                     continue
-                doc_id, line_no = storage.line_metadata(self.conn, data_key)
-            except KeyError:
-                # Candidate deleted since the posting lookup (see the
-                # filescan plan's identical guard).
-                continue
-            answers.append(
-                Answer(
-                    line_id=data_key,
-                    doc_id=doc_id,
-                    line_no=line_no,
-                    probability=prob,
+                answers.append(
+                    Answer(
+                        line_id=data_key,
+                        doc_id=doc_id,
+                        line_no=line_no,
+                        probability=prob,
+                    )
                 )
-            )
+            if ev is not None:
+                ev.annotate(matches=len(answers))
         return rank_answers(answers, num_ans=num_ans)
 
     # ------------------------------------------------------------------

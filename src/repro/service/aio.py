@@ -25,13 +25,14 @@ the blocking entry points (:func:`repro.service.server.start_service`,
 from __future__ import annotations
 
 import asyncio
-import functools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from http.client import responses as _REASONS
 
+from . import trace
 from .http_common import (
+    UNTRACED_ENDPOINTS,
     HttpResponse,
     body_length,
     decode_json,
@@ -40,6 +41,7 @@ from .http_common import (
     resolve,
     respond,
     split_path,
+    split_query,
     unread_body,
 )
 from .validation import ApiError
@@ -245,33 +247,67 @@ class AsyncHTTPServer:
                 started, close=unread_body(declared),
             )
             return response, method == "HEAD"
-        payload: object = None
-        close = False
-        if routed.with_body:
-            try:
-                payload = await self._read_json(reader, declared)
-            except ApiError as exc:
-                response = respond(
-                    self.service, routed.endpoint, exc.status,
-                    exc.to_payload(), started,
-                    close=exc.close_connection,  # framing: body unread
-                )
-                return response, False
-        elif unread_body(declared):
-            close = True  # GET/DELETE body left unread: framing desync
-        status, result = await self._call(routed, payload)
-        return respond(
-            self.service, routed.endpoint, status, result, started,
-            close=close,
-        ), False
+        tracer = getattr(self.service, "tracer", None)
+        root = None
+        if tracer is not None and routed.endpoint not in UNTRACED_ENDPOINTS:
+            # The per-connection task has its own contextvars context,
+            # so installing the root here is task-local; the executor
+            # hop in _call re-attaches it explicitly.
+            root = tracer.begin_request(
+                routed.endpoint, method, target,
+                headers.get(trace.TRACE_HEADER.lower()),
+            )
+        try:
+            payload: object = None
+            close = False
+            if routed.with_body:
+                try:
+                    with trace.span("read_body"):
+                        payload = await self._read_json(reader, declared)
+                except ApiError as exc:
+                    response = respond(
+                        self.service, routed.endpoint, exc.status,
+                        exc.to_payload(), started,
+                        close=exc.close_connection,  # framing: body unread
+                    )
+                    return response, False
+            elif unread_body(declared):
+                close = True  # GET/DELETE body left unread: framing desync
+            status, result = await self._call(
+                routed, payload, split_query(target)
+            )
+            return respond(
+                self.service, routed.endpoint, status, result, started,
+                close=close,
+            ), False
+        finally:
+            if root is not None:
+                tracer.release(root)
 
-    async def _call(self, routed, payload: object) -> tuple[int, dict]:
-        """Run the blocking service call on the bounded executor."""
+    async def _call(
+        self, routed, payload: object, query: dict[str, str]
+    ) -> tuple[int, dict]:
+        """Run the blocking service call on the bounded executor.
+
+        Context variables do not follow ``run_in_executor``, so the
+        current span is captured here and re-attached in the worker;
+        a ``queue_wait`` span measures how long the call sat behind
+        the ``max_inflight`` bound before a worker picked it up.
+        """
         assert self._loop is not None
-        return await self._loop.run_in_executor(
-            self._executor,
-            functools.partial(dispatch, self.service, routed, payload),
-        )
+        parent = trace.current_span()
+        queue_span = None
+        if parent is not None:
+            queue_span = trace.Span("queue_wait", parent=parent)
+            parent.children.append(queue_span)
+
+        def run() -> tuple[int, dict]:
+            if queue_span is not None:
+                queue_span.finish()
+            with trace.attach(parent), trace.span("handler"):
+                return dispatch(self.service, routed, payload, query)
+
+        return await self._loop.run_in_executor(self._executor, run)
 
     async def _read_json(
         self, reader: asyncio.StreamReader, declared: str | None

@@ -29,10 +29,12 @@ from ..db.sql import SqlError, execute_select
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer
 from ..query.like import compile_like
+from . import trace
 from .cache import QueryCache, key_from_json, key_to_json
 from .jobs import Job, JobEngine, JobsApi, atomic_write_json
 from .metrics import ServiceMetrics
 from .pool import ConnectionPool
+from .trace import ObservabilityApi, Tracer
 from .validation import (
     ApiError,
     SearchRequest,
@@ -105,32 +107,36 @@ def run_search_plan(
     sharded service; returns the plan label actually used plus the
     ranked answers.
     """
-    if request.plan == "auto":
-        plan, answers = execute_plan(
-            db,
-            request.pattern,
-            approach=request.approach,
-            num_ans=request.num_ans,
-        )
-        return f"auto:{plan.kind}", answers
-    if request.plan == "indexed":
-        answers = db.indexed_search(
-            request.pattern,
-            approach=request.approach,
-            num_ans=request.num_ans,
-        )
-        label = (
-            "indexed"
-            if db.index_covers(request.pattern, request.approach)
-            else "indexed:filescan-fallback"
-        )
-        return label, answers
-    answers = db.search(
-        request.pattern,
-        approach=request.approach,
-        num_ans=request.num_ans,
-    )
-    return "filescan", answers
+    with trace.span("plan", requested=request.plan) as plan_span:
+        if request.plan == "auto":
+            plan, answers = execute_plan(
+                db,
+                request.pattern,
+                approach=request.approach,
+                num_ans=request.num_ans,
+            )
+            label = f"auto:{plan.kind}"
+        elif request.plan == "indexed":
+            answers = db.indexed_search(
+                request.pattern,
+                approach=request.approach,
+                num_ans=request.num_ans,
+            )
+            label = (
+                "indexed"
+                if db.index_covers(request.pattern, request.approach)
+                else "indexed:filescan-fallback"
+            )
+        else:
+            answers = db.search(
+                request.pattern,
+                approach=request.approach,
+                num_ans=request.num_ans,
+            )
+            label = "filescan"
+        if plan_span is not None:
+            plan_span.annotate(plan=label, answers=len(answers))
+    return label, answers
 
 
 def reject_shard_scope(shards: tuple[int, ...] | None) -> None:
@@ -144,7 +150,7 @@ def reject_shard_scope(shards: tuple[int, ...] | None) -> None:
         )
 
 
-class QueryService(JobsApi):
+class QueryService(JobsApi, ObservabilityApi):
     """The StaccatoDB query service over one database file."""
 
     def __init__(
@@ -156,6 +162,11 @@ class QueryService(JobsApi):
         cache_size: int = 256,
         index_approach: str = "staccato",
         workers: int = 2,
+        trace_enabled: bool = True,
+        trace_ring: int = trace.DEFAULT_TRACE_RING,
+        slow_query_ms: float | None = None,
+        slow_log_path: str | None = None,
+        access_log_path: str | None = None,
     ) -> None:
         if path == ":memory:":
             raise ValueError(
@@ -178,8 +189,19 @@ class QueryService(JobsApi):
         )
         self.cache = QueryCache(cache_size)
         self.metrics = ServiceMetrics()
+        self.tracer = Tracer(
+            enabled=trace_enabled,
+            ring=trace_ring,
+            slow_query_ms=slow_query_ms,
+            slow_log_path=slow_log_path,
+            access_log_path=access_log_path,
+        )
         self.jobs = JobEngine(
-            self, f"{path}.jobs.json", workers=workers, metrics=self.metrics
+            self,
+            f"{path}.jobs.json",
+            workers=workers,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -187,6 +209,7 @@ class QueryService(JobsApi):
         self.jobs.shutdown()
         self.pool.close()
         self._writer.close()
+        self.tracer.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -221,9 +244,10 @@ class QueryService(JobsApi):
     # ------------------------------------------------------------------
     def search(self, payload: object) -> dict[str, object]:
         """LIKE/regex search, served from cache when possible."""
-        request = validate_search(payload)
-        reject_shard_scope(request.shards)
-        check_pattern(request.pattern)
+        with trace.span("validate"):
+            request = validate_search(payload)
+            reject_shard_scope(request.shards)
+            check_pattern(request.pattern)
         key = (
             "search",
             self.path,
@@ -253,8 +277,9 @@ class QueryService(JobsApi):
     # ------------------------------------------------------------------
     def sql(self, payload: object) -> dict[str, object]:
         """The probabilistic SELECT surface of :mod:`repro.db.sql`."""
-        request = validate_sql(payload)
-        reject_shard_scope(request.shards)
+        with trace.span("validate"):
+            request = validate_sql(payload)
+            reject_shard_scope(request.shards)
         key = ("sql", self.path, request.query, request.approach, request.num_ans)
         cached = self.cache.get(key)
         if cached is not None:
@@ -263,12 +288,15 @@ class QueryService(JobsApi):
         started = time.perf_counter()
         with self.pool.acquire() as db:
             try:
-                rows = execute_select(
-                    db,
-                    request.query,
-                    approach=request.approach,
-                    num_ans=request.num_ans,
-                )
+                with trace.span("sql_execute") as sql_span:
+                    rows = execute_select(
+                        db,
+                        request.query,
+                        approach=request.approach,
+                        num_ans=request.num_ans,
+                    )
+                    if sql_span is not None:
+                        sql_span.annotate(rows=len(rows))
             except (SqlError, RegexError) as exc:
                 raise ApiError(400, str(exc), code="sql_error") from exc
         result = {

@@ -19,6 +19,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
+from . import trace
+
 __all__ = ["QueryCache", "key_to_json", "key_from_json"]
 
 
@@ -68,12 +70,17 @@ class QueryCache:
 
     def get(self, key: Hashable) -> Any | None:
         """The cached value, marking it most recently used; None on miss."""
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-                self.hits += 1
-                return self._data[key]
-            self.misses += 1
+        with trace.span("cache_probe") as probe:
+            with self._lock:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    if probe is not None:
+                        probe.annotate(hit=True)
+                    return self._data[key]
+                self.misses += 1
+            if probe is not None:
+                probe.annotate(hit=False)
             return None
 
     def put(

@@ -27,7 +27,9 @@ import json
 import time
 import urllib.parse
 from dataclasses import dataclass, field
+from typing import Mapping
 
+from . import trace
 from .validation import ApiError
 
 __all__ = [
@@ -39,9 +41,14 @@ __all__ = [
     "DELETE_ROUTES",
     "GET_ARG_ROUTES",
     "DELETE_ARG_ROUTES",
+    "QUERY_ROUTES",
+    "UNTRACED_ENDPOINTS",
+    "PROMETHEUS_CONTENT_TYPE",
     "Routed",
     "HttpResponse",
+    "TextPayload",
     "split_path",
+    "split_query",
     "resolve",
     "not_found",
     "method_not_allowed",
@@ -57,7 +64,13 @@ __all__ = [
 #: generous while still bounding a misbehaving client.
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
-GET_ROUTES = {"/health": "health", "/stats": "stats", "/jobs": "jobs_list"}
+GET_ROUTES = {
+    "/health": "health",
+    "/stats": "stats",
+    "/jobs": "jobs_list",
+    "/metrics": "metrics_text",
+    "/traces": "traces_list",
+}
 POST_ROUTES = {
     "/ingest": "ingest",
     "/search": "search",
@@ -71,8 +84,15 @@ DELETE_ROUTES: dict[str, str] = {}
 #: service method as its argument (e.g. ``GET /jobs/<id>``).  The
 #: segment must not itself contain ``/`` -- ``/jobs/a/b`` is a 404,
 #: not a lookup of the id ``"a/b"``.
-GET_ARG_ROUTES = {"/jobs/": "jobs_get"}
+GET_ARG_ROUTES = {"/jobs/": "jobs_get", "/traces/": "traces_get"}
 DELETE_ARG_ROUTES = {"/jobs/": "jobs_cancel"}
+
+#: Endpoints that receive the parsed query string (``?endpoint=search``)
+#: instead of a body or path argument.
+QUERY_ROUTES = {"traces_list"}
+
+#: The Prometheus text exposition format ``GET /metrics`` serves.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Methods the API serves; anything else is a JSON 405 whose ``Allow``
 #: header lists exactly these.
@@ -96,6 +116,19 @@ class Routed:
     with_body: bool
 
 
+@dataclass(frozen=True, slots=True)
+class TextPayload:
+    """A non-JSON response body (e.g. the Prometheus exposition).
+
+    Service methods normally return JSON-able dicts; returning one of
+    these instead makes :func:`respond` write ``text`` verbatim under
+    ``content_type``.
+    """
+
+    text: str
+    content_type: str = "text/plain; charset=utf-8"
+
+
 @dataclass(slots=True)
 class HttpResponse:
     """A fully rendered response, ready for either transport to write."""
@@ -115,6 +148,14 @@ def split_path(target: str) -> str:
     target would 404 every URL with a query string.
     """
     return urllib.parse.urlsplit(target).path
+
+
+def split_query(target: str) -> dict[str, str]:
+    """The request target's query string as a flat dict (last value wins)."""
+    raw = urllib.parse.parse_qs(
+        urllib.parse.urlsplit(target).query, keep_blank_values=True
+    )
+    return {key: values[-1] for key, values in raw.items()}
 
 
 def known_endpoints() -> list[str]:
@@ -234,8 +275,17 @@ def decode_json(raw: bytes) -> object:
 # ----------------------------------------------------------------------
 # Dispatch and response rendering
 # ----------------------------------------------------------------------
+#: Endpoints that observe the service rather than serve data: they are
+#: not traced themselves (a scrape loop or trace poll would otherwise
+#: fill the trace ring with its own requests).
+UNTRACED_ENDPOINTS = {"metrics_text", "traces_list", "traces_get"}
+
+
 def dispatch(
-    service, routed: Routed, payload: object = None
+    service,
+    routed: Routed,
+    payload: object = None,
+    query: Mapping[str, str] | None = None,
 ) -> tuple[int, dict]:
     """Call the routed service method; normalize to ``(status, payload)``.
 
@@ -243,10 +293,16 @@ def dispatch(
     -- e.g. job submission answers 202 Accepted with the queued job
     row.  ApiError becomes its structured body; anything else is a
     defensive 500 so one bad request can never take the worker down.
+
+    A body containing ``"trace": true`` gets the request's own span
+    tree (as recorded so far -- serialization still lies ahead) echoed
+    under ``"trace"`` in a successful response.
     """
     try:
         method = getattr(service, routed.endpoint)
-        if routed.with_body:
+        if routed.endpoint in QUERY_ROUTES:
+            result = method(query or {})
+        elif routed.with_body:
             result = method(payload)
         elif routed.arg is not None:
             result = method(routed.arg)
@@ -257,8 +313,24 @@ def dispatch(
             and len(result) == 2
             and isinstance(result[0], int)
         ):
-            return result
-        return 200, result
+            status, result = result
+        else:
+            status = 200
+        if (
+            isinstance(payload, Mapping)
+            and payload.get("trace") is True
+            and isinstance(result, dict)
+        ):
+            root = trace.current_root()
+            if root is not None:
+                # Copy before annotating: the handler may have returned
+                # a dict the result cache also holds.
+                result = dict(result)
+                result["trace"] = {
+                    "trace_id": root.trace_id,
+                    "spans": root.to_dict(),
+                }
+        return status, result
     except ApiError as exc:
         return exc.status, exc.to_payload()
     except Exception as exc:  # pragma: no cover - defensive boundary
@@ -274,14 +346,29 @@ def respond(
     started: float,
     close: bool = False,
 ) -> HttpResponse:
-    """Time the request into the metrics registry and render the body."""
+    """Time the request into the metrics registry, render the body, and
+    -- when the request is being traced -- close out its span tree
+    (serialization span, trace record, slow-query/access log lines,
+    ``X-Trace-Id`` response header)."""
     elapsed = time.perf_counter() - started
     service.metrics.observe(endpoint, elapsed, error=status >= 400)
-    body = json.dumps(payload).encode("utf-8")
+    with trace.span("serialize"):
+        if isinstance(payload, TextPayload):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
     headers = [
-        ("Content-Type", "application/json"),
+        ("Content-Type", content_type),
         ("Content-Length", str(len(body))),
     ]
     if status == 405:
         headers.append(("Allow", ALLOW_HEADER))
+    tracer = getattr(service, "tracer", None)
+    root = trace.current_root() if tracer is not None else None
+    if root is not None:
+        tracer.finish_request(root, status=status)
+        if root.trace_id:
+            headers.append((trace.TRACE_HEADER, root.trace_id))
     return HttpResponse(status=status, body=body, headers=headers, close=close)

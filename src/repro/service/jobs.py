@@ -276,6 +276,7 @@ class JobEngine:
         workers: int = 2,
         history: int = DEFAULT_HISTORY,
         metrics: Any = None,
+        tracer: Any = None,
         extra_types: Sequence[JobType] = (),
     ) -> None:
         if workers < 1:
@@ -285,6 +286,7 @@ class JobEngine:
         self.journal = JobJournal(journal_path)
         self._history = history
         self._metrics = metrics
+        self._tracer = tracer
         # ``extra_types`` land before journal recovery so a custom
         # idempotent type's interrupted jobs re-queue like built-ins.
         self._types: dict[str, JobType] = {t.name: t for t in DEFAULT_JOB_TYPES}
@@ -477,6 +479,14 @@ class JobEngine:
             self._journal()
             error: str | None = None
             state = "succeeded"
+            # Each run gets its own trace rooted in this worker thread's
+            # context, so engine spans raised by the runner (index build,
+            # rebalance reads) land under ``job:<type>`` in ``/traces``.
+            root = None
+            if self._tracer is not None:
+                root = self._tracer.begin_request(
+                    f"job:{job.type}", "JOB", f"/jobs/{job.id}"
+                )
             try:
                 job.check_cancelled()  # a cancel may have raced the dequeue
                 result = self._runner_for(job)()
@@ -489,6 +499,12 @@ class JobEngine:
             except Exception:  # noqa: BLE001 - worker crash boundary
                 state, result = "failed", None
                 error = traceback.format_exc()
+            finally:
+                if root is not None:
+                    self._tracer.finish_request(
+                        root, status=500 if state == "failed" else 200
+                    )
+                    self._tracer.release(root)
             with self._lock:
                 job.state = state
                 job.result = result

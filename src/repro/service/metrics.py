@@ -15,10 +15,18 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["ServiceMetrics", "percentile"]
+__all__ = ["ServiceMetrics", "percentile", "PROMETHEUS_BUCKETS_MS"]
 
 #: Latency samples retained per endpoint.
 DEFAULT_WINDOW = 2048
+
+#: Cumulative histogram bounds (milliseconds) for the Prometheus
+#: exposition -- log-ish spacing from sub-ms cache hits to multi-second
+#: filescans, plus the implicit +Inf bucket.
+PROMETHEUS_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -138,6 +146,7 @@ class ServiceMetrics:
             "mean": sum(millis) / len(millis) if millis else 0.0,
             "p50": percentile(millis, 50),
             "p90": percentile(millis, 90),
+            "p95": percentile(millis, 95),
             "p99": percentile(millis, 99),
         }
 
@@ -156,6 +165,7 @@ class ServiceMetrics:
             result: dict[str, object] = {
                 "total": sum(self._counts.values()),
                 "total_errors": sum(self._errors.values()),
+                "uptime_s": self.uptime_s,
                 "endpoints": endpoints,
             }
             if self._shard_counts:
@@ -197,3 +207,144 @@ class ServiceMetrics:
                     }
                 result["jobs"] = jobs
             return result
+
+    # ------------------------------------------------------------------
+    # Prometheus text exposition (format 0.0.4), zero-dependency.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _escape_label(value: object) -> str:
+        return (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+
+    @classmethod
+    def _labels(cls, pairs: list[tuple[str, object]]) -> str:
+        inner = ",".join(
+            f'{name}="{cls._escape_label(value)}"' for name, value in pairs
+        )
+        return "{" + inner + "}" if inner else ""
+
+    @classmethod
+    def _histogram_lines(
+        cls,
+        out: list[str],
+        family: str,
+        labels: list[tuple[str, object]],
+        samples: "deque[float] | list[float]",
+    ) -> None:
+        millis = sorted(s * 1000.0 for s in samples)
+        cumulative = 0
+        position = 0
+        for bound in PROMETHEUS_BUCKETS_MS:
+            while position < len(millis) and millis[position] <= bound:
+                position += 1
+            cumulative = position
+            le = labels + [("le", f"{bound:g}")]
+            out.append(f"{family}_bucket{cls._labels(le)} {cumulative}")
+        le = labels + [("le", "+Inf")]
+        out.append(f"{family}_bucket{cls._labels(le)} {len(millis)}")
+        out.append(f"{family}_sum{cls._labels(labels)} {sum(millis):.6f}")
+        out.append(f"{family}_count{cls._labels(labels)} {len(millis)}")
+
+    def render_prometheus(self, prefix: str = "staccato") -> str:
+        """Render the registry in the Prometheus text format.
+
+        Counters are lifetime totals.  The ``*_duration_ms`` histograms
+        are computed from the same bounded per-key sample window the
+        percentiles use (:data:`DEFAULT_WINDOW` most recent samples),
+        so their ``_count``/``_sum`` are *windowed*, not monotonic --
+        fine for scrape-time dashboards of recent latency, but rate()
+        over them is meaningless; use the ``*_total`` counters for
+        rates.  The whole text is rendered under one lock, so every
+        line is a consistent cut of the registry.
+        """
+        with self._lock:
+            out: list[str] = []
+
+            def family(
+                name: str,
+                help_text: str,
+                counts: dict,
+                errors: dict,
+                latencies: dict,
+                label_names: tuple[str, ...],
+            ) -> None:
+                def pairs(key: object) -> list[tuple[str, object]]:
+                    parts = key if isinstance(key, tuple) else (key,)
+                    return list(zip(label_names, parts))
+
+                if counts:
+                    out.append(f"# HELP {prefix}_{name}_total {help_text}")
+                    out.append(f"# TYPE {prefix}_{name}_total counter")
+                    for key, count in sorted(counts.items()):
+                        out.append(
+                            f"{prefix}_{name}_total"
+                            f"{self._labels(pairs(key))} {count}"
+                        )
+                    out.append(
+                        f"# HELP {prefix}_{name}_errors_total "
+                        f"Errors among {name}."
+                    )
+                    out.append(f"# TYPE {prefix}_{name}_errors_total counter")
+                    for key in sorted(counts):
+                        out.append(
+                            f"{prefix}_{name}_errors_total"
+                            f"{self._labels(pairs(key))} "
+                            f"{errors.get(key, 0)}"
+                        )
+                if latencies:
+                    out.append(
+                        f"# HELP {prefix}_{name}_duration_ms "
+                        f"Latency of {name} (windowed: last "
+                        f"{self._window} samples per series)."
+                    )
+                    out.append(f"# TYPE {prefix}_{name}_duration_ms histogram")
+                    for key, ring in sorted(latencies.items()):
+                        self._histogram_lines(
+                            out,
+                            f"{prefix}_{name}_duration_ms",
+                            pairs(key),
+                            ring,
+                        )
+
+            family(
+                "requests",
+                "Handled requests per endpoint.",
+                self._counts,
+                self._errors,
+                self._latencies,
+                ("endpoint",),
+            )
+            family(
+                "shard_requests",
+                "Per-shard legs of fanned-out requests.",
+                self._shard_counts,
+                self._shard_errors,
+                self._shard_latencies,
+                ("shard", "endpoint"),
+            )
+            family(
+                "replica_attempts",
+                "Per-replica attempts (failover may retry).",
+                self._replica_counts,
+                self._replica_errors,
+                self._replica_latencies,
+                ("shard", "replica", "endpoint"),
+            )
+            family(
+                "jobs",
+                "Background job runs per type.",
+                self._job_counts,
+                self._job_errors,
+                self._job_latencies,
+                ("type",),
+            )
+            out.append(
+                f"# HELP {prefix}_uptime_seconds Service uptime in seconds."
+            )
+            out.append(f"# TYPE {prefix}_uptime_seconds gauge")
+            out.append(f"{prefix}_uptime_seconds {self.uptime_s:.3f}")
+            return "\n".join(out) + "\n"

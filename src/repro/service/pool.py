@@ -29,6 +29,7 @@ from collections import deque
 from typing import Iterator
 
 from ..db.engine import StaccatoDB
+from . import trace
 
 __all__ = ["ConnectionPool", "PoolClosed"]
 
@@ -82,7 +83,10 @@ class ConnectionPool:
     @contextlib.contextmanager
     def acquire(self, timeout: float | None = None) -> Iterator[StaccatoDB]:
         """Check a connection out for exclusive use by the calling thread."""
-        entry = self._checkout(timeout)
+        with trace.span("pool_wait") as wait:
+            entry = self._checkout(timeout)
+            if wait is not None and self.label is not None:
+                wait.annotate(pool=self.label)
         try:
             yield entry.db
         finally:

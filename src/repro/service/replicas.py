@@ -40,6 +40,7 @@ import time
 from typing import Callable, Iterator, Sequence
 
 from ..db.engine import StaccatoDB
+from . import trace
 from .pool import ConnectionPool
 
 __all__ = [
@@ -441,28 +442,43 @@ class ReplicaSet:
                     f"left{detail}"
                 ) from last_error
             tried.add(replica.replica_index)
-            if not os.path.exists(replica.path):
-                error: BaseException = FileNotFoundError(replica.path)
-                replica.breaker.record_failure(error)
-                last_error = error
-                continue
-            try:
-                result = attempt(replica)
-            except passthrough:
-                # The replica evaluated the request; the error belongs
-                # to the client (e.g. malformed SQL).  Recording it as
-                # a breaker success matters: if this attempt was the
-                # half-open probe, leaving the outcome unrecorded would
-                # park the breaker in half-open forever.
+            # One span per attempt -- a failover shows up as sibling
+            # ``replica_attempt`` spans, the failed ones flagged with
+            # the error and the breaker state they observed going in.
+            with trace.span(
+                "replica_attempt",
+                replica=replica.replica_index,
+                breaker=replica.breaker.state,
+            ) as att:
+                if not os.path.exists(replica.path):
+                    error: BaseException = FileNotFoundError(replica.path)
+                    replica.breaker.record_failure(error)
+                    last_error = error
+                    if att is not None:
+                        att.error = True
+                        att.annotate(failure="missing_file")
+                    continue
+                try:
+                    result = attempt(replica)
+                except passthrough:
+                    # The replica evaluated the request; the error
+                    # belongs to the client (e.g. malformed SQL).
+                    # Recording it as a breaker success matters: if
+                    # this attempt was the half-open probe, leaving the
+                    # outcome unrecorded would park the breaker in
+                    # half-open forever.
+                    replica.breaker.record_success()
+                    raise
+                except Exception as exc:  # noqa: BLE001 - failover boundary
+                    replica.breaker.record_failure(exc)
+                    last_error = exc
+                    if att is not None:
+                        att.error = True
+                        att.annotate(failure=type(exc).__name__)
+                    continue
                 replica.breaker.record_success()
-                raise
-            except Exception as exc:  # noqa: BLE001 - failover boundary
-                replica.breaker.record_failure(exc)
-                last_error = exc
-                continue
-            replica.breaker.record_success()
-            replica.served += 1
-            return result
+                replica.served += 1
+                return result
 
     # ------------------------------------------------------------------
     def apply_write(self, leg: Callable[[Replica], object]) -> object:

@@ -24,10 +24,12 @@ import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from . import trace
 from .aio import DEFAULT_MAX_INFLIGHT, AsyncHTTPServer
 from .app import QueryService
 from .http_common import (
     MAX_BODY_BYTES,  # noqa: F401  (re-exported; the historical home)
+    UNTRACED_ENDPOINTS,
     body_length,
     decode_json,
     dispatch,
@@ -35,6 +37,7 @@ from .http_common import (
     resolve,
     respond,
     split_path,
+    split_query,
     unread_body,
 )
 from .shards import ShardedQueryService
@@ -97,21 +100,39 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 suppress_body=method == "HEAD",
             )
             return
-        payload: object = None
-        if routed.with_body:
-            try:
-                payload = self._read_json(declared)
-            except ApiError as exc:
-                if exc.close_connection:  # framing error: body unread
-                    self.close_connection = True
-                self._finish(
-                    routed.endpoint, exc.status, exc.to_payload(), started
+        service = self.server.service
+        tracer = getattr(service, "tracer", None)
+        root = None
+        if tracer is not None and routed.endpoint not in UNTRACED_ENDPOINTS:
+            root = tracer.begin_request(
+                routed.endpoint,
+                method,
+                self.path,
+                self.headers.get(trace.TRACE_HEADER),
+            )
+        try:
+            payload: object = None
+            if routed.with_body:
+                try:
+                    with trace.span("read_body"):
+                        payload = self._read_json(declared)
+                except ApiError as exc:
+                    if exc.close_connection:  # framing error: body unread
+                        self.close_connection = True
+                    self._finish(
+                        routed.endpoint, exc.status, exc.to_payload(), started
+                    )
+                    return
+            elif unread_body(declared):
+                self.close_connection = True  # GET/DELETE body left unread
+            with trace.span("handler"):
+                status, result = dispatch(
+                    service, routed, payload, split_query(self.path)
                 )
-                return
-        elif unread_body(declared):
-            self.close_connection = True  # GET/DELETE body left unread
-        status, result = dispatch(self.server.service, routed, payload)
-        self._finish(routed.endpoint, status, result, started)
+            self._finish(routed.endpoint, status, result, started)
+        finally:
+            if root is not None:
+                tracer.release(root)
 
     def _finish(
         self,
@@ -350,7 +371,8 @@ def serve_forever(
         f"({target}, backend={backend})"
     )
     print(
-        "endpoints: GET /health, GET /stats, POST /ingest, "
+        "endpoints: GET /health, GET /stats, GET /metrics, "
+        "GET /traces, GET /traces/<id>, POST /ingest, "
         "POST /search, POST /sql, POST /index, POST /replicas, "
         "POST /jobs, GET /jobs, GET /jobs/<id>, DELETE /jobs/<id>"
     )

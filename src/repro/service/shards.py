@@ -75,10 +75,12 @@ from ..db.sql import (
 from ..ocr.corpus import Dataset, Document
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer
+from . import trace
 from .app import answer_row, check_pattern, index_fingerprint, run_search_plan
 from .cache import QueryCache, key_from_json, key_to_json
 from .jobs import Job, JobCancelled, JobEngine, JobsApi, atomic_write_json
 from .metrics import ServiceMetrics
+from .trace import ObservabilityApi, Tracer
 from .replicas import (
     DEFAULT_COOLDOWN_S,
     Replica,
@@ -554,7 +556,7 @@ class ShardedPool:
             shard.replicas.close()
 
 
-class ShardedQueryService(JobsApi):
+class ShardedQueryService(JobsApi, ObservabilityApi):
     """The StaccatoDB query service over N DocId-range shards."""
 
     def __init__(
@@ -570,6 +572,11 @@ class ShardedQueryService(JobsApi):
         replicas: int = 1,
         replica_cooldown_s: float = DEFAULT_COOLDOWN_S,
         workers: int = 2,
+        trace_enabled: bool = True,
+        trace_ring: int = trace.DEFAULT_TRACE_RING,
+        slow_query_ms: float | None = None,
+        slow_log_path: str | None = None,
+        access_log_path: str | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a sharded service needs at least one shard")
@@ -590,6 +597,13 @@ class ShardedQueryService(JobsApi):
         )
         self.cache = QueryCache(cache_size)
         self.metrics = ServiceMetrics()
+        self.tracer = Tracer(
+            enabled=trace_enabled,
+            ring=trace_ring,
+            slow_query_ms=slow_query_ms,
+            slow_log_path=slow_log_path,
+            access_log_path=access_log_path,
+        )
         self._rr_lock = threading.Lock()
         self._rr_next = 0
         # Placements decided in-process, including writes still in
@@ -634,6 +648,7 @@ class ShardedQueryService(JobsApi):
             os.path.join(shard_dir, JOBS_JOURNAL_FILE),
             workers=workers,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -642,6 +657,7 @@ class ShardedQueryService(JobsApi):
         self._executor.shutdown(wait=True)
         self._write_executor.shutdown(wait=True)
         self.pool.close()
+        self.tracer.close()
 
     # ------------------------------------------------------------------
     @property
@@ -738,8 +754,23 @@ class ShardedQueryService(JobsApi):
         return shards
 
     def _fan_out(self, scope: Sequence[int], leg):
-        """Run ``leg(shard_index)`` on every scoped shard concurrently."""
-        return list(self._executor.map(leg, scope))
+        """Run ``leg(shard_index)`` on every scoped shard concurrently.
+
+        Context variables do not follow ``executor.map``, so the
+        caller's span is captured here and re-attached in each worker:
+        every leg's spans nest under the request that fanned out.
+        Appending concurrent ``shard_leg`` children to the shared parent
+        is safe -- ``list.append`` is atomic under the GIL.
+        """
+        parent = trace.current_span()
+        if parent is None:
+            return list(self._executor.map(leg, scope))
+
+        def traced(index: int):
+            with trace.attach(parent), trace.span("shard_leg", shard=index):
+                return leg(index)
+
+        return list(self._executor.map(traced, scope))
 
     def _fan_out_writes(self, scope: Sequence[int], leg):
         """Fan a *write* out, never losing a committed shard's result.
@@ -1062,11 +1093,12 @@ class ShardedQueryService(JobsApi):
     # ------------------------------------------------------------------
     def search(self, payload: object) -> dict[str, object]:
         """Fan a search out over the scoped shards and merge the ranking."""
-        request = validate_search(payload)
-        scope = self._scope(request.shards)
-        # A pattern that cannot compile would fail deterministically on
-        # every replica -- a 400, never breaker food.
-        check_pattern(request.pattern)
+        with trace.span("validate"):
+            request = validate_search(payload)
+            scope = self._scope(request.shards)
+            # A pattern that cannot compile would fail deterministically
+            # on every replica -- a 400, never breaker food.
+            check_pattern(request.pattern)
         key = (
             "search",
             scope,
@@ -1108,11 +1140,13 @@ class ShardedQueryService(JobsApi):
         # source rows must not disappear under a request whose target
         # leg read before the copy landed.
         with self._move_gate.read():
-            results = self._fan_out(scope, leg)
-        merged = merge_ranked(
-            [(index, answers) for index, _, answers in results],
-            request.num_ans,
-        )
+            with trace.span("router", shards=len(scope)):
+                results = self._fan_out(scope, leg)
+        with trace.span("merge"):
+            merged = merge_ranked(
+                [(index, answers) for index, _, answers in results],
+                request.num_ans,
+            )
         labels = {label for _, label, _ in results}
         result = {
             "pattern": request.pattern,
@@ -1138,8 +1172,9 @@ class ShardedQueryService(JobsApi):
         plan (full rows, base aggregates, no cutoff); the router merges
         with :func:`~repro.db.sql.merge_shard_rows`.
         """
-        request = validate_sql(payload)
-        scope = self._scope(request.shards)
+        with trace.span("validate"):
+            request = validate_sql(payload)
+            scope = self._scope(request.shards)
         key = (
             "sql",
             scope,
@@ -1208,27 +1243,29 @@ class ShardedQueryService(JobsApi):
                 )
                 return rows
 
-            shard_rows = self._fan_out(scope, leg)
+            with trace.span("router", shards=len(scope)):
+                shard_rows = self._fan_out(scope, leg)
         try:
-            if move_safe:
-                seen_docs: set[object] = set()
-                deduped: list[dict[str, object]] = []
-                for rows_ in shard_rows:
-                    for row in rows_:
-                        if row["DocId"] in seen_docs:
-                            continue
-                        seen_docs.add(row["DocId"])
-                        deduped.append(row)
-                if parsed.is_aggregate:
-                    rows = aggregate_full_rows(parsed, deduped)
+            with trace.span("merge"):
+                if move_safe:
+                    seen_docs: set[object] = set()
+                    deduped: list[dict[str, object]] = []
+                    for rows_ in shard_rows:
+                        for row in rows_:
+                            if row["DocId"] in seen_docs:
+                                continue
+                            seen_docs.add(row["DocId"])
+                            deduped.append(row)
+                    if parsed.is_aggregate:
+                        rows = aggregate_full_rows(parsed, deduped)
+                    else:
+                        rows = merge_shard_rows(
+                            parsed, [deduped], num_ans=request.num_ans
+                        )
                 else:
                     rows = merge_shard_rows(
-                        parsed, [deduped], num_ans=request.num_ans
+                        parsed, shard_rows, num_ans=request.num_ans
                     )
-            else:
-                rows = merge_shard_rows(
-                    parsed, shard_rows, num_ans=request.num_ans
-                )
         except SqlError as exc:
             raise ApiError(400, str(exc), code="sql_error") from exc
         result = {

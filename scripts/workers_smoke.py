@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""CI smoke test for the subprocess-worker topology.
+
+Boots the real CLI (``python -m repro serve --shards 2 --shard-dir ...
+--worker-procs``) on an ephemeral port, then:
+
+1. ingests a tiny corpus and runs a traced ``/search`` whose span tree
+   crosses the process boundary (the router's ``shard_leg`` spans carry
+   the worker-side trees as annotations);
+2. SIGKILLs one worker (pid taken from the ``GET /health`` worker
+   census) and verifies the supervisor respawns it -- ``/health``
+   returns to ``ok`` with a fresh pid and ``/metrics`` counts a
+   ``worker_restart`` event;
+3. SIGTERMs the router and verifies a clean exit that leaves no
+   orphaned worker processes behind.
+
+Exits non-zero on the first violation.
+
+Run:  PYTHONPATH=src python scripts/workers_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+from repro.bench.service_load import get_json, post_json
+from repro.ocr.corpus import make_ca
+
+_SRC_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def pick_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def await_health(base_url: str, timeout_s: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    health: dict = {}
+    while time.monotonic() < deadline:
+        try:
+            status, health = get_json(base_url, "/health")
+            if status == 200 and health.get("status") == "ok":
+                return health
+        except (urllib.error.URLError, OSError, ConnectionError):
+            pass
+        time.sleep(0.2)
+    fail(f"service never became healthy: {health}")
+    return health  # unreachable
+
+
+def span_nodes(tree: dict):
+    yield tree
+    for child in tree.get("children", ()):
+        yield from span_nodes(child)
+
+
+def main() -> int:
+    port = pick_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_ROOT + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        router = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--shards", "2", "--shard-dir", f"{tmp}/shards",
+                "--worker-procs",
+                "--host", "127.0.0.1", "--port", str(port),
+                "--k", "4", "--m", "6",
+            ],
+            env=env,
+        )
+        base_url = f"http://127.0.0.1:{port}"
+        worker_pids: list[int] = []
+        try:
+            health = await_health(base_url)
+            workers = health.get("workers") or {}
+            if set(workers) != {"0", "1"}:
+                fail(f"expected 2 workers in /health, got {workers}")
+
+            corpus = make_ca(num_docs=2, lines_per_doc=3, seed=1)
+            status, reply = post_json(
+                base_url,
+                "/ingest",
+                {
+                    "documents": [
+                        {
+                            "doc_id": doc.doc_id,
+                            "year": doc.year,
+                            "lines": list(doc.lines),
+                        }
+                        for doc in corpus.documents
+                    ],
+                    "ocr_seed": 0,
+                },
+            )
+            if status != 200:
+                fail(f"ingest answered {status}: {reply}")
+
+            # 1. Traced search: the span tree crosses the process
+            # boundary (shard_leg spans annotated with worker trees).
+            request = urllib.request.Request(
+                base_url + "/search",
+                data=json.dumps(
+                    {"pattern": "%Congress%", "trace": True}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                trace_id = response.headers.get("X-Trace-Id")
+                body = json.loads(response.read())
+            if not trace_id:
+                fail("traced response missing X-Trace-Id header")
+            tree = body.get("trace", {}).get("spans")
+            if not tree:
+                fail("traced response missing inline span tree")
+            legs = [
+                node for node in span_nodes(tree)
+                if node.get("name") == "shard_leg"
+            ]
+            if not legs:
+                fail("no shard_leg spans in the routed trace")
+            if not any(
+                (node.get("attrs") or {}).get("worker") for node in legs
+            ):
+                fail("no worker-side span tree crossed the boundary")
+
+            # 2. Kill one worker; the supervisor must bring it back.
+            victim = workers["0"]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            recovered: dict = {}
+            while time.monotonic() < deadline:
+                status, health = get_json(base_url, "/health")
+                recovered = (health.get("workers") or {}).get("0") or {}
+                if (
+                    status == 200
+                    and health.get("status") == "ok"
+                    and recovered.get("pid") not in (None, victim)
+                    and recovered.get("restarts", 0) >= 1
+                ):
+                    break
+                time.sleep(0.2)
+            else:
+                fail(f"worker 0 never recovered from SIGKILL: {recovered}")
+            with urllib.request.urlopen(
+                base_url + "/metrics", timeout=30
+            ) as response:
+                text = response.read().decode("utf-8")
+            match = re.search(
+                r'staccato_events_total\{event="worker_restart"\} (\d+)', text
+            )
+            if match is None or int(match.group(1)) < 1:
+                fail("worker_restart event missing from /metrics")
+
+            status, health = get_json(base_url, "/health")
+            worker_pids = [
+                block["pid"]
+                for block in (health.get("workers") or {}).values()
+                if block.get("pid")
+            ]
+        finally:
+            if router.poll() is None:
+                router.terminate()
+                try:
+                    router.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    router.kill()
+                    fail("router did not exit within 30s of SIGTERM")
+
+        # 3. Clean shutdown: exit 0, no orphaned workers.
+        if router.returncode != 0:
+            fail(f"router exited {router.returncode}")
+        for pid in worker_pids:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+            fail(f"worker pid {pid} survived router shutdown (orphan)")
+    print(
+        "workers smoke: traced fan-out + SIGKILL recovery + clean "
+        "drain OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -246,12 +246,19 @@ def run_search_load(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class ShardedComparison:
-    """Single-database vs sharded profiles of one identical load."""
+    """Single-database vs sharded profiles of one identical load.
+
+    ``workers`` is the optional third leg: the same N shards, but each
+    owned by a worker *subprocess* behind the fan-out router
+    (:mod:`repro.service.workers`), so shard scans escape the router's
+    GIL instead of time-slicing inside one process.
+    """
 
     num_shards: int
     corpus_lines: int
     single: LoadResult
     sharded: LoadResult
+    workers: LoadResult | None = None
 
     def report(self) -> str:
         """A small fixed-width table, one row per serving topology."""
@@ -259,6 +266,8 @@ class ShardedComparison:
         rows = [
             ["single-db", self.single], [f"{self.num_shards}-shard", self.sharded]
         ]
+        if self.workers is not None:
+            rows.append([f"{self.num_shards}-worker", self.workers])
         lines = ["  ".join(f"{h:>10s}" for h in headers)]
         for name, result in rows:
             lines.append(
@@ -322,6 +331,7 @@ def run_sharded_comparison(
     range_width: int = 1,
     backend: str = "thread",
     trace_sample: int = 0,
+    worker_procs: bool = False,
 ) -> ShardedComparison:
     """Seed and drive a single-db and an N-shard service identically.
 
@@ -329,10 +339,16 @@ def run_sharded_comparison(
     every shard, so the sharded topology really measures partitioned
     data (the library default of 64 would park a small corpus entirely
     on shard 0).  ``trace_sample=N`` traces every Nth request and adds
-    the mean per-span breakdown to the report.
+    the mean per-span breakdown to the report.  ``worker_procs=True``
+    adds a third leg: the same N shards each promoted to a worker
+    subprocess behind the fan-out router.
     """
     from ..ocr.corpus import make_ca
-    from ..service import start_service, start_sharded_service
+    from ..service import (
+        start_service,
+        start_sharded_service,
+        start_worker_service,
+    )
 
     corpus = make_ca(num_docs=docs, lines_per_doc=lines, seed=1)
     load_kwargs = dict(
@@ -369,11 +385,30 @@ def run_sharded_comparison(
             )
         finally:
             sharded.stop()
+        workers_result = None
+        if worker_procs:
+            workers = start_worker_service(
+                f"{tmp}/workers",
+                num_shards,
+                k=k,
+                m=m,
+                pool_size=2,
+                range_width=range_width,
+                backend=backend,
+            )
+            try:
+                _ingest_over_http(workers.base_url, corpus)
+                workers_result = run_search_load(
+                    workers.base_url, list(patterns), **load_kwargs
+                )
+            finally:
+                workers.stop()
     return ShardedComparison(
         num_shards=num_shards,
         corpus_lines=corpus.num_lines,
         single=single_result,
         sharded=sharded_result,
+        workers=workers_result,
     )
 
 
@@ -1031,6 +1066,12 @@ def main(argv: Sequence[str] | None = None) -> int:
              "report the mean per-span time breakdown (0 disables)",
     )
     parser.add_argument(
+        "--worker-procs",
+        action="store_true",
+        help="compare mode: add a third leg with each shard in its own "
+             "worker subprocess behind the fan-out router",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="report path ('-' prints only; default depends on --mode)",
@@ -1104,14 +1145,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             m=args.m,
             backend=args.backend,
             trace_sample=args.trace_sample,
+            worker_procs=args.worker_procs,
         )
         title = (
             f"service throughput: {comparison.corpus_lines}-line corpus, "
             f"single-db vs {comparison.num_shards} shards"
         )
+        if comparison.workers is not None:
+            title += " (in-process and subprocess workers)"
         text = f"{title}\n{comparison.report()}\n"
         out_default = "benchmarks/reports/service_throughput.txt"
-        failed = bool(comparison.single.errors or comparison.sharded.errors)
+        failed = bool(
+            comparison.single.errors
+            or comparison.sharded.errors
+            or (comparison.workers is not None and comparison.workers.errors)
+        )
     print(text, end="")
     out_arg = args.out if args.out is not None else out_default
     if out_arg != "-":

@@ -186,6 +186,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --replicas needs a sharded service (--shards)",
               file=sys.stderr)
         return 2
+    if args.worker_procs and args.shards <= 0:
+        print("error: --worker-procs needs a sharded service (--shards)",
+              file=sys.stderr)
+        return 2
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
@@ -209,6 +213,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         warm_start=args.warm_start,
         backend=args.backend,
         max_inflight=args.max_inflight,
+        worker_procs=args.worker_procs,
         k=args.k,
         m=args.m,
         pool_size=args.pool_size,
@@ -299,6 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory holding the shard-NNNN.db files")
     serve.add_argument("--replicas", type=int, default=1,
                        help="read replicas per shard (sharded mode only)")
+    serve.add_argument("--worker-procs", action="store_true",
+                       help="run each shard in its own worker subprocess "
+                            "behind the fan-out router (sharded mode only)")
     serve.add_argument("--workers", type=int, default=2,
                        help="background job worker threads (POST /jobs)")
     serve.add_argument("--warm-start", action="store_true",

@@ -113,6 +113,7 @@ from .server import (
     serve_forever,
     start_service,
     start_sharded_service,
+    start_worker_service,
 )
 from .shards import (
     RoutingTable,
@@ -120,6 +121,7 @@ from .shards import (
     ShardedQueryService,
     shard_for_doc,
 )
+from .workers import ShardWorkerService, WorkerRouterService
 from .validation import ApiError
 
 __all__ = [
@@ -149,4 +151,7 @@ __all__ = [
     "serve_forever",
     "start_service",
     "start_sharded_service",
+    "start_worker_service",
+    "ShardWorkerService",
+    "WorkerRouterService",
 ]

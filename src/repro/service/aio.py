@@ -235,7 +235,11 @@ class AsyncHTTPServer:
         started = time.perf_counter()
         declared = headers.get("content-length")
         try:
-            routed = resolve(method, split_path(target))
+            routed = resolve(
+                method,
+                split_path(target),
+                getattr(self.service, "EXTRA_ROUTES", None),
+            )
         except ApiError as exc:
             # An unread request body would desynchronize keep-alive
             # framing, so close after answering (the thread backend

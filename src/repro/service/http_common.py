@@ -189,7 +189,11 @@ def method_not_allowed(method: str) -> ApiError:
     )
 
 
-def resolve(method: str, path: str) -> Routed:
+def resolve(
+    method: str,
+    path: str,
+    extra_routes: Mapping[tuple[str, str], str] | None = None,
+) -> Routed:
     """Resolve ``(method, path)`` to a service method, or raise.
 
     Raises :class:`ApiError` 405 for methods outside the API and 404
@@ -197,6 +201,15 @@ def resolve(method: str, path: str) -> Routed:
     segment contains ``/`` (``GET /jobs/abc/def`` must not leak
     ``"abc/def"`` into a job lookup and answer a confusing
     ``job_not_found``).
+
+    ``extra_routes`` maps ``(method, exact_path) -> endpoint`` for
+    routes a *specific service instance* serves beyond the public
+    contract -- the shard worker processes of
+    :mod:`repro.service.workers` expose their internal ``/worker/*``
+    RPC surface this way (transports read it off
+    ``service.EXTRA_ROUTES``).  Keeping these out of the module-level
+    tables keeps the public wire contract -- and the docs that are
+    checked against it -- unchanged.
     """
     tables = _METHOD_TABLES.get(method)
     if tables is None:
@@ -210,6 +223,10 @@ def resolve(method: str, path: str) -> Routed:
             arg = path[len(prefix):]
             if "/" not in arg:
                 return Routed(endpoint, arg, with_body)
+    if extra_routes:
+        endpoint = extra_routes.get((method, path))
+        if endpoint is not None:
+            return Routed(endpoint, None, with_body)
     raise not_found(path)
 
 

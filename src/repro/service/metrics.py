@@ -59,6 +59,9 @@ class ServiceMetrics:
         self._job_counts: dict[str, int] = {}
         self._job_errors: dict[str, int] = {}
         self._job_latencies: dict[str, deque[float]] = {}
+        # Named lifecycle events with no latency of their own (worker
+        # restarts, hedged reads, router deadlines): bare counters.
+        self._events: dict[str, int] = {}
         self.started_at = time.monotonic()
 
     def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
@@ -135,6 +138,22 @@ class ServiceMetrics:
             )
             ring.append(seconds)
 
+    def event(self, name: str, count: int = 1) -> None:
+        """Count one occurrence of a named lifecycle event.
+
+        Used by the worker-process router for the things that are not
+        requests: a worker subprocess restarting after a crash, a read
+        leg getting hedged, a per-request deadline firing.  Exposed in
+        ``/stats`` under ``events`` and in the Prometheus text as
+        ``<prefix>_events_total{event="..."}``.
+        """
+        with self._lock:
+            self._events[name] = self._events.get(name, 0) + count
+
+    def event_count(self, name: str) -> int:
+        with self._lock:
+            return self._events.get(name, 0)
+
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self.started_at
@@ -206,6 +225,8 @@ class ServiceMetrics:
                         ),
                     }
                 result["jobs"] = jobs
+            if self._events:
+                result["events"] = dict(sorted(self._events.items()))
             return result
 
     # ------------------------------------------------------------------
@@ -342,6 +363,17 @@ class ServiceMetrics:
                 self._job_latencies,
                 ("type",),
             )
+            if self._events:
+                out.append(
+                    f"# HELP {prefix}_events_total "
+                    "Lifecycle events (worker restarts, hedges, deadlines)."
+                )
+                out.append(f"# TYPE {prefix}_events_total counter")
+                for name, count in sorted(self._events.items()):
+                    out.append(
+                        f"{prefix}_events_total"
+                        f"{self._labels([('event', name)])} {count}"
+                    )
             out.append(
                 f"# HELP {prefix}_uptime_seconds Service uptime in seconds."
             )

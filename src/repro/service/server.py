@@ -19,6 +19,8 @@ Two entry points drive either backend (``backend="thread"`` or
 
 from __future__ import annotations
 
+import contextlib
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -64,6 +66,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     #: Socket timeout: without it a client that declares a Content-Length
     #: and never finishes sending would pin its handler thread forever.
     timeout = 60.0
+    #: Responses go out as two writes (headers, then body).  With Nagle
+    #: on, the body write sits in the kernel until the client ACKs the
+    #: headers -- and once a keep-alive connection leaves Linux's
+    #: initial quickack mode, that ACK is delayed ~40ms, stalling every
+    #: request on a reused connection.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -89,7 +97,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         declared = self.headers.get("Content-Length")
         try:
-            routed = resolve(method, split_path(self.path))
+            routed = resolve(
+                method,
+                split_path(self.path),
+                getattr(self.server.service, "EXTRA_ROUTES", None),
+            )
         except ApiError as exc:
             if unread_body(declared):
                 # The body was never read; reusing the connection would
@@ -187,6 +199,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the QueryService for its handlers."""
 
     daemon_threads = True
+    #: The socketserver default backlog of 5 drops SYNs under a burst of
+    #: fresh connections (the client then waits out a ~1s retransmit).
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -314,6 +329,34 @@ def start_sharded_service(
     )
 
 
+def start_worker_service(
+    shard_dir: str,
+    num_shards: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    backend: str = "thread",
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    **service_kwargs,
+) -> RunningService:
+    """Start the subprocess-worker topology in a daemon thread.
+
+    Same wire contract as :func:`start_sharded_service`, but each shard
+    is owned by a worker *process* (see :mod:`repro.service.workers`)
+    and the in-process side is only the fan-out router.
+    """
+    _check_backend(backend)
+    # Imported lazily: workers.py imports from this module at top level.
+    from .workers import WorkerRouterService
+
+    return _start_in_thread(
+        WorkerRouterService(shard_dir, num_shards, **service_kwargs),
+        host,
+        port,
+        backend=backend,
+        max_inflight=max_inflight,
+    )
+
+
 def serve_forever(
     db_path: str | None = None,
     host: str = "127.0.0.1",
@@ -325,6 +368,7 @@ def serve_forever(
     warm_start: bool = False,
     backend: str = "thread",
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    worker_procs: bool = False,
     **service_kwargs,
 ) -> None:
     """Run the service in the foreground until interrupted (CLI path).
@@ -332,6 +376,8 @@ def serve_forever(
     Pass ``db_path`` for the single-database service, or ``shards`` and
     ``shard_dir`` for the shard router of :mod:`repro.service.shards`
     (optionally with ``replicas`` read copies per shard).
+    ``worker_procs`` promotes each shard to a worker subprocess behind
+    the fan-out router of :mod:`repro.service.workers`.
     ``warm_start`` replays the last ``cache_snapshot`` job's output so
     the restarted service does not begin with a cold result cache.
     ``backend`` picks the front end: ``"thread"`` (one OS thread per
@@ -339,13 +385,26 @@ def serve_forever(
     executor for the blocking service calls).
     """
     _check_backend(backend)
+    if worker_procs and shards <= 0:
+        raise ValueError("--worker-procs needs a sharded service (--shards)")
     if shards > 0:
         if shard_dir is None:
             raise ValueError("sharded serving needs --shard-dir")
-        service: QueryService | ShardedQueryService = ShardedQueryService(
-            shard_dir, shards, replicas=replicas, **service_kwargs
-        )
-        target = f"shards={shards} dir={shard_dir} replicas={replicas}"
+        if worker_procs:
+            from .workers import WorkerRouterService
+
+            service: QueryService | ShardedQueryService = WorkerRouterService(
+                shard_dir, shards, replicas=replicas, **service_kwargs
+            )
+            target = (
+                f"shards={shards} dir={shard_dir} replicas={replicas} "
+                f"worker-procs"
+            )
+        else:
+            service = ShardedQueryService(
+                shard_dir, shards, replicas=replicas, **service_kwargs
+            )
+            target = f"shards={shards} dir={shard_dir} replicas={replicas}"
     else:
         if db_path is None:
             raise ValueError("serving needs --db (or --shards/--shard-dir)")
@@ -376,6 +435,15 @@ def serve_forever(
         "POST /search, POST /sql, POST /index, POST /replicas, "
         "POST /jobs, GET /jobs, GET /jobs/<id>, DELETE /jobs/<id>"
     )
+    # SIGTERM must take the same graceful path as Ctrl-C: the finally
+    # block below is what terminates (and drains) the worker
+    # subprocesses of a --worker-procs topology -- without this, a
+    # plain `kill` of the router orphans every worker.
+    def _graceful_term(signum, frame):
+        raise KeyboardInterrupt
+
+    with contextlib.suppress(ValueError):  # signal needs the main thread
+        signal.signal(signal.SIGTERM, _graceful_term)
     try:
         if loop_thread is not None:
             loop_thread.join()

@@ -577,15 +577,35 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         slow_query_ms: float | None = None,
         slow_log_path: str | None = None,
         access_log_path: str | None = None,
+        paths: Sequence[str] | None = None,
+        sidecar_dir: str | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a sharded service needs at least one shard")
         os.makedirs(shard_dir, exist_ok=True)
         self.shard_dir = shard_dir
+        # Sidecars (routing table, job journal, cache snapshot, pending
+        # moves) normally live next to the shard files; a worker process
+        # serving ONE shard of a larger layout (repro.service.workers)
+        # points them at a private directory so N workers sharing a
+        # shard_dir never clobber each other's -- or the router's --
+        # state files.
+        self.sidecar_dir = sidecar_dir or shard_dir
+        os.makedirs(self.sidecar_dir, exist_ok=True)
         self.num_shards = num_shards
         self.range_width = range_width
         self.index_approach = index_approach
-        self.paths = shard_paths(shard_dir, num_shards)
+        # ``paths`` overrides the canonical layout for the same reason:
+        # worker i owns shard-000i.db even though, locally, it is the
+        # only shard it serves.
+        self.paths = (
+            list(paths) if paths is not None
+            else shard_paths(shard_dir, num_shards)
+        )
+        if len(self.paths) != num_shards:
+            raise ValueError(
+                f"got {len(self.paths)} shard paths for {num_shards} shards"
+            )
         self.pool = ShardedPool(
             self.paths,
             k=k,
@@ -630,7 +650,9 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         # Ownership: one immutable table, swapped whole under the lock
         # (readers take ``self.routing`` by reference -- atomic publish).
         self._routing_lock = threading.Lock()
-        self._routing = RoutingTable.load(shard_dir, num_shards, range_width)
+        self._routing = RoutingTable.load(
+            self.sidecar_dir, num_shards, range_width
+        )
         self._move_gate = _MoveGate()
         # Unconverged moves from a previous process: rows may still sit
         # on two shards, so /sql must come back up on the safe plan.
@@ -645,7 +667,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         self._rebalance_after_copy: Callable[[Job], None] | None = None
         self.jobs = JobEngine(
             self,
-            os.path.join(shard_dir, JOBS_JOURNAL_FILE),
+            os.path.join(self.sidecar_dir, JOBS_JOURNAL_FILE),
             workers=workers,
             metrics=self.metrics,
             tracer=self.tracer,
@@ -669,12 +691,12 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         """Atomically swap the routing table and persist the overrides."""
         with self._routing_lock:
             self._routing = table
-            table.save(self.shard_dir)
+            table.save(self.sidecar_dir)
 
     # ------------------------------------------------------------------
     @property
     def _pending_moves_path(self) -> str:
-        return os.path.join(self.shard_dir, PENDING_MOVES_FILE)
+        return os.path.join(self.sidecar_dir, PENDING_MOVES_FILE)
 
     def _load_pending_moves(self) -> list[tuple[int, int, int, int]]:
         try:
@@ -756,21 +778,30 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
     def _fan_out(self, scope: Sequence[int], leg):
         """Run ``leg(shard_index)`` on every scoped shard concurrently.
 
-        Context variables do not follow ``executor.map``, so the
+        Context variables do not follow executor submission, so the
         caller's span is captured here and re-attached in each worker:
         every leg's spans nest under the request that fanned out.
         Appending concurrent ``shard_leg`` children to the shared parent
         is safe -- ``list.append`` is atomic under the GIL.
+
+        The calling thread runs the first leg itself -- it would only
+        block on the executor otherwise -- so a K-shard fan-out costs
+        K-1 executor hops and a single-shard scope costs none.
         """
         parent = trace.current_span()
-        if parent is None:
-            return list(self._executor.map(leg, scope))
 
         def traced(index: int):
+            if parent is None:
+                return leg(index)
             with trace.attach(parent), trace.span("shard_leg", shard=index):
                 return leg(index)
 
-        return list(self._executor.map(traced, scope))
+        if len(scope) == 1:
+            return [traced(scope[0])]
+        rest = [self._executor.submit(traced, index) for index in scope[1:]]
+        results = [traced(scope[0])]
+        results.extend(future.result() for future in rest)
+        return results
 
     def _fan_out_writes(self, scope: Sequence[int], leg):
         """Fan a *write* out, never losing a committed shard's result.
@@ -848,6 +879,22 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
     @staticmethod
     def _shard_unavailable(index: int, exc: ReplicaUnavailable) -> ApiError:
         return ApiError(503, str(exc), code="shard_unavailable")
+
+    # ------------------------------------------------------------------
+    # Seams the storage-independent machinery (total_lines, health,
+    # cache snapshot, warm start) reads shard state through.  The
+    # subprocess router of :mod:`repro.service.workers` overrides just
+    # these two to answer from worker metadata instead of a local pool.
+    # ------------------------------------------------------------------
+    def _shard_lines(self, index: int) -> int:
+        """One shard's committed line count (raises ReplicaUnavailable)."""
+        return self._replica_read(index, "health", lambda db: db.num_lines)
+
+    def _lines_and_index(self, index: int) -> tuple[int, object]:
+        """One shard's (line count, index fingerprint) snapshot."""
+        return self._replica_read(
+            index, "stats", lambda db: (db.num_lines, index_fingerprint(db))
+        )
 
     # ------------------------------------------------------------------
     def _existing_owners(self, doc_ids: Sequence[int]) -> dict[int, int]:
@@ -1781,7 +1828,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
     @property
     def snapshot_path(self) -> str:
         """The warm-start sidecar the ``cache_snapshot`` job writes."""
-        return os.path.join(self.shard_dir, CACHE_SNAPSHOT_FILE)
+        return os.path.join(self.sidecar_dir, CACHE_SNAPSHOT_FILE)
 
     def job_cache_snapshot(self, job: Job, params) -> dict[str, object]:
         """Runner: serialize the query cache plus its generation vector.
@@ -1799,11 +1846,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         index_digests: list[list] = []
         for index in range(self.num_shards):
             try:
-                lines_and_index = self._replica_read(
-                    index,
-                    "stats",
-                    lambda db: (db.num_lines, index_fingerprint(db)),
-                )
+                lines_and_index = self._lines_and_index(index)
             except ReplicaUnavailable as exc:
                 raise ApiError(
                     503,
@@ -1868,11 +1911,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
             stale: set[int] = set()
             for index in range(self.num_shards):
                 try:
-                    current = self._replica_read(
-                        index,
-                        "stats",
-                        lambda db: (db.num_lines, index_fingerprint(db)),
-                    )
+                    current = self._lines_and_index(index)
                 except ReplicaUnavailable:
                     stale.add(index)
                     continue
@@ -1921,9 +1960,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         total = 0
         for index in range(self.num_shards):
             try:
-                total += self._replica_read(
-                    index, "health", lambda db: db.num_lines
-                )
+                total += self._shard_lines(index)
             except ReplicaUnavailable:
                 continue
         return total
@@ -1941,9 +1978,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         for index in range(self.num_shards):
             shard = self.pool.shard(index)
             try:
-                per_shard[str(index)] = self._replica_read(
-                    index, "health", lambda db: db.num_lines
-                )
+                per_shard[str(index)] = self._shard_lines(index)
             except ReplicaUnavailable:
                 per_shard[str(index)] = None
                 degraded = True

@@ -1,0 +1,1906 @@
+"""Multi-process shard workers behind a thin fan-out router.
+
+The in-process shard router of :mod:`repro.service.shards` runs every
+shard leg inside one Python process, so N shards share one GIL: a
+filescan-heavy mix gains concurrency but little parallelism.  This
+module promotes each shard to a **worker subprocess** that owns its
+StaccatoDB file (plus replicas) outright, while the front end becomes a
+thin router that only validates, fans out over local HTTP, and merges:
+
+* :class:`ShardWorkerService` -- the service one worker process runs.
+  It *is* a single-shard :class:`~repro.service.shards.
+  ShardedQueryService` (same wire contract, byte-identical leg
+  semantics), with sidecar files (routing table, job journal, cache
+  snapshot) pointed at a private directory so N workers sharing a
+  ``shard_dir`` never clobber each other.  An ``EXTRA_ROUTES`` table
+  adds the private ``/worker/*`` RPC surface the router needs (owner
+  probes, widened SQL legs, rebalance phases, metadata) without
+  touching the public route tables.
+* ``python -m repro.service.workers`` -- the worker entry point: bind
+  an ephemeral port, publish it through an atomic **port file**
+  handshake, serve until SIGTERM, then drain gracefully (stop
+  accepting, finish every in-flight request, close the database).
+* :class:`WorkerHandle` / :class:`WorkerPool` -- the router's view of
+  one worker: spawn, readiness, a keep-alive connection pool,
+  deadline-aware requests, and a supervisor thread that restarts a
+  crashed worker (bumping the shard's generation: a killed worker may
+  have committed a batch whose acknowledgement was lost).
+* :class:`WorkerRouterService` -- the drop-in replacement for
+  ``ShardedQueryService`` the transports serve unchanged
+  (``serve --shards N --worker-procs``).  It reuses the in-process
+  router's routing table, pending-move bookkeeping, placement registry
+  and cache machinery (it subclasses ``ShardedQueryService`` for
+  exactly those parts) but every shard leg travels over HTTP with a
+  **per-request deadline** (a worker that does not answer in time is a
+  503 ``deadline_exceeded``, with a matching trace span and metrics
+  event) and optional **hedged reads** (a second attempt races a slow
+  first one).  Worker span trees cross the process boundary via the
+  ``"trace": true`` response annotation and are re-attached to the
+  router's own spans.
+
+Failure contract: reads retry freely across worker restarts within
+their deadline (they are idempotent); an ingest leg is retried only
+when the connection was provably never established (refused) --
+StaccatoDB ingests are atomic per batch, so a mid-request crash means
+the batch either fully committed or fully rolled back, and the restart
+path bumps the shard's generation to evict any cache entry that could
+mask a committed-but-unacknowledged batch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Mapping, Sequence
+
+from ..db.engine import shard_path, shard_paths
+from ..db.sql import (
+    SqlError,
+    aggregate_full_rows,
+    execute_select,
+    merge_shard_rows,
+    parse_select,
+    shard_select,
+    shard_select_rows,
+)
+from ..automata.regex import RegexError
+from ..query.answers import Answer
+from . import trace
+from .app import answer_row, check_pattern
+from .cache import QueryCache
+from .jobs import Job, JobCancelled, JobEngine, atomic_write_json
+from .metrics import ServiceMetrics
+from .replicas import DEFAULT_COOLDOWN_S, ReplicaUnavailable, ordered_locks
+from .shards import (
+    DEFAULT_RANGE_WIDTH,
+    JOBS_JOURNAL_FILE,
+    _MoveGate,
+    _OWNER_PROBE_BATCH,
+    RoutingTable,
+    ShardedQueryService,
+    merge_ranked,
+)
+from .trace import Tracer
+from .validation import (
+    ApiError,
+    validate_index,
+    validate_rebalance_params,
+    validate_replicas,
+    validate_search,
+    validate_sql,
+)
+
+__all__ = [
+    "DEFAULT_DEADLINE_S",
+    "DEFAULT_WRITE_DEADLINE_S",
+    "DEFAULT_HEDGE_DELAY_S",
+    "WORKER_SIDECAR_DIR",
+    "ShardWorkerService",
+    "WorkerHandle",
+    "WorkerPool",
+    "WorkerRouterService",
+    "main",
+]
+
+#: Router-side deadline for read legs (search/sql/probes/health).  A
+#: worker that does not answer in time -- wedged, paused, overloaded --
+#: is a 503 ``deadline_exceeded``, never an indefinite hang.
+DEFAULT_DEADLINE_S = 30.0
+
+#: Deadline for write legs.  Ingest batches and index builds are real
+#: work (OCR transduction, postings); they get a far wider budget than
+#: the interactive reads.
+DEFAULT_WRITE_DEADLINE_S = 600.0
+
+#: How long a read leg waits before racing a second, hedged attempt.
+DEFAULT_HEDGE_DELAY_S = 0.5
+
+#: How long the router waits for a spawned worker to publish its port
+#: file and answer ``/health``.
+WORKER_READY_TIMEOUT_S = 60.0
+
+#: Everything worker-private under the shard directory lives here: the
+#: per-worker sidecar directories, port files, and crash logs.
+WORKER_SIDECAR_DIR = "workers"
+
+#: Idle keep-alive connections retained per worker.
+_POOL_IDLE_CAP = 8
+
+#: Supervisor poll interval for crashed workers.
+_SUPERVISE_INTERVAL_S = 0.25
+
+_JSON_HEADERS = {"Content-Type": "application/json"}
+
+#: The ``src`` root the spawned worker needs on PYTHONPATH to import
+#: ``repro`` (the router may itself run from an installed checkout).
+_SRC_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+
+def worker_port_file(shard_dir: str, index: int) -> str:
+    """Where worker ``index`` publishes its bound port and pid."""
+    return os.path.join(
+        shard_dir, WORKER_SIDECAR_DIR, f"worker-{index:04d}.json"
+    )
+
+
+def worker_log_file(shard_dir: str, index: int) -> str:
+    return os.path.join(
+        shard_dir, WORKER_SIDECAR_DIR, f"worker-{index:04d}.log"
+    )
+
+
+# ======================================================================
+# The worker-process service
+# ======================================================================
+class ShardWorkerService(ShardedQueryService):
+    """One shard of a larger layout, served as a standalone process.
+
+    A worker is simply a single-shard ``ShardedQueryService`` whose
+    shard file is ``shard-<index>.db`` of the *shared* layout and whose
+    sidecar files live in a private per-worker directory.  The public
+    endpoints therefore behave exactly like one in-process shard leg --
+    ``/search`` returns the shard's top-``num_ans`` ranked answers,
+    ``/ingest`` applies one atomic batch under the shard write lock --
+    which is what makes the subprocess topology byte-equivalent after
+    the router's merge.
+    """
+
+    #: The private RPC surface the router drives (transports read this
+    #: off the service instance; the public route tables are untouched).
+    EXTRA_ROUTES = {
+        ("GET", "/worker/meta"): "worker_meta",
+        ("POST", "/worker/sql"): "worker_sql",
+        ("POST", "/worker/probe"): "worker_probe",
+        ("POST", "/worker/rebalance"): "worker_rebalance",
+    }
+
+    def __init__(self, shard_dir: str, shard_index: int, **kwargs) -> None:
+        if shard_index < 0:
+            raise ValueError("shard_index must be >= 0")
+        self.worker_shard = shard_index
+        kwargs.setdefault("workers", 1)
+        super().__init__(
+            shard_dir,
+            1,
+            paths=[shard_path(shard_dir, shard_index)],
+            sidecar_dir=os.path.join(
+                shard_dir, WORKER_SIDECAR_DIR, f"shard-{shard_index:04d}"
+            ),
+            **kwargs,
+        )
+        # The inherited fan-out executor is sized num_shards (= 1 here),
+        # which would serialize every concurrent router request through a
+        # single thread.  Shard scans spend their time inside SQLite with
+        # the GIL released, so give the handler threads real slots.
+        self._executor.shutdown(wait=False)
+        self._executor = ThreadPoolExecutor(
+            max_workers=16, thread_name_prefix="shard-fanout"
+        )
+
+    # ------------------------------------------------------------------
+    def worker_meta(self) -> dict[str, object]:
+        """Cheap metadata probe: lines + index fingerprint + pid."""
+        try:
+            lines, digest = self._lines_and_index(0)
+        except ReplicaUnavailable:
+            lines, digest = None, None
+        return {
+            "shard": self.worker_shard,
+            "pid": os.getpid(),
+            "lines": lines,
+            "index": digest,
+        }
+
+    def worker_sql(self, payload: object) -> dict[str, object]:
+        """One shard's widened SQL leg (full rows, no cutoff).
+
+        Mirrors the in-process router's leg: ``rows`` selects the
+        full-row plan used while a rebalance is in flight (the router
+        de-duplicates by DocId and recomputes aggregates itself).
+        """
+        if not isinstance(payload, Mapping):
+            raise ApiError(400, "request body must be a JSON object")
+        query = payload.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise ApiError(400, "'query' must be a non-empty string")
+        approach = payload.get("approach", "staccato")
+        full_rows = bool(payload.get("rows"))
+        try:
+            parsed = parse_select(query)
+        except SqlError as exc:
+            raise ApiError(400, str(exc), code="sql_error") from exc
+        base = shard_select_rows(parsed) if full_rows else shard_select(parsed)
+
+        def evaluate(db) -> list[dict[str, object]]:
+            try:
+                return execute_select(
+                    db, query, approach=approach, num_ans=None, parsed=base
+                )
+            except (SqlError, RegexError) as exc:
+                raise ApiError(400, str(exc), code="sql_error") from exc
+
+        try:
+            rows = self._replica_read(0, "sql", evaluate)
+        except ReplicaUnavailable as exc:
+            raise self._shard_unavailable(self.worker_shard, exc) from exc
+        return {"shard": self.worker_shard, "count": len(rows), "rows": rows}
+
+    def worker_probe(self, payload: object) -> dict[str, object]:
+        """Which of ``doc_ids`` this shard already holds.
+
+        ``relation`` picks the table: ``master`` (committed lines; the
+        ingest owner probe) or ``documents`` (the rebalance re-dispatch
+        check of ``_split_moved``).
+        """
+        if not isinstance(payload, Mapping):
+            raise ApiError(400, "request body must be a JSON object")
+        doc_ids = payload.get("doc_ids")
+        if not isinstance(doc_ids, list) or not all(
+            isinstance(d, int) and not isinstance(d, bool) for d in doc_ids
+        ):
+            raise ApiError(400, "'doc_ids' must be a list of integers")
+        relation = payload.get("relation", "master")
+        if relation not in ("master", "documents"):
+            raise ApiError(400, "'relation' must be 'master' or 'documents'")
+        select = (
+            "SELECT DISTINCT DocId FROM MasterData"
+            if relation == "master"
+            else "SELECT DocId FROM Documents"
+        )
+        ids = sorted(set(doc_ids))
+
+        def probe(db) -> set[int]:
+            found: set[int] = set()
+            for at in range(0, len(ids), _OWNER_PROBE_BATCH):
+                batch = ids[at : at + _OWNER_PROBE_BATCH]
+                marks = ",".join("?" * len(batch))
+                found.update(
+                    row[0]
+                    for row in db.conn.execute(
+                        f"{select} WHERE DocId IN ({marks})", batch
+                    )
+                )
+            return found
+
+        try:
+            present = self._replica_read(0, "ingest", probe)
+        except ReplicaUnavailable as exc:
+            raise self._shard_unavailable(self.worker_shard, exc) from exc
+        return {"shard": self.worker_shard, "present": sorted(present)}
+
+    def worker_rebalance(self, payload: object) -> dict[str, object]:
+        """One phase of a cross-process rebalance, on this shard.
+
+        ``snapshot`` lists the documents in a range (source side),
+        ``copy`` pulls them in from the source *file* (target side; one
+        verified transaction per replica via SQLite ATTACH -- the
+        router holds both workers' write locks, so the source file
+        cannot change under the copy), ``delete`` drops them.  Copy and
+        delete bump this worker's own generation and evict its local
+        cache, exactly like the in-process phases.
+        """
+        if not isinstance(payload, Mapping):
+            raise ApiError(400, "request body must be a JSON object")
+        action = payload.get("action")
+        shard = self.pool.shard(0)
+        if action == "snapshot":
+            lo, hi = payload.get("doc_lo"), payload.get("doc_hi")
+            if not isinstance(lo, int) or not isinstance(hi, int):
+                raise ApiError(
+                    400, "snapshot needs integer 'doc_lo' and 'doc_hi'"
+                )
+            with shard.write_lock:
+                source_copy = next(
+                    (
+                        r
+                        for r in shard.replicas.replicas()
+                        if not r.stale and os.path.exists(r.path)
+                    ),
+                    None,
+                )
+                if source_copy is None:
+                    raise ApiError(
+                        503,
+                        f"shard {self.worker_shard} has no live replica "
+                        "to move from",
+                        code="shard_unavailable",
+                    )
+                docs = [
+                    row[0]
+                    for row in source_copy.writer.conn.execute(
+                        "SELECT DocId FROM Documents "
+                        "WHERE DocId BETWEEN ? AND ? ORDER BY DocId",
+                        (lo, hi),
+                    )
+                ]
+                lines = source_copy.writer.conn.execute(
+                    "SELECT COUNT(*) FROM MasterData "
+                    "WHERE DocId BETWEEN ? AND ?",
+                    (lo, hi),
+                ).fetchone()[0]
+                path = os.path.abspath(source_copy.path)
+            return {
+                "shard": self.worker_shard,
+                "docs": docs,
+                "lines": lines,
+                "source_path": path,
+            }
+        if action in ("copy", "delete"):
+            doc_ids = payload.get("doc_ids")
+            if not isinstance(doc_ids, list) or not all(
+                isinstance(d, int) and not isinstance(d, bool)
+                for d in doc_ids
+            ):
+                raise ApiError(400, "'doc_ids' must be a list of integers")
+            try:
+                if action == "copy":
+                    source_path = payload.get("source_path")
+                    expect_lines = payload.get("expect_lines")
+                    if not isinstance(source_path, str) or not isinstance(
+                        expect_lines, int
+                    ):
+                        raise ApiError(
+                            400,
+                            "copy needs 'source_path' and integer "
+                            "'expect_lines'",
+                        )
+                    with shard.write_lock:
+                        copied = shard.replicas.apply_write(
+                            lambda replica: self._rebalance_copy(
+                                replica, source_path, doc_ids, expect_lines
+                            )
+                        )
+                    affected: dict[str, object] = {"copied": copied}
+                else:
+                    with shard.write_lock:
+                        shard.replicas.apply_write(
+                            lambda replica: self._rebalance_delete(
+                                replica, doc_ids
+                            )
+                        )
+                    affected = {"deleted": len(doc_ids)}
+            except ReplicaUnavailable as exc:
+                raise self._shard_unavailable(self.worker_shard, exc) from exc
+            self.pool.bump({0})
+            self._invalidate_shards({0})
+            return {"shard": self.worker_shard, **affected}
+        raise ApiError(400, f"unknown rebalance action {action!r}")
+
+
+# ======================================================================
+# The worker-process entry point
+# ======================================================================
+def run_worker(args: argparse.Namespace) -> int:
+    """Serve one shard until SIGTERM/SIGINT, then drain gracefully."""
+    # Imported here, not at module top: the *router* side of this module
+    # is imported by repro.service.server, which would otherwise cycle.
+    from .server import ServiceHTTPServer, ServiceRequestHandler
+
+    class WorkerRequestHandler(ServiceRequestHandler):
+        # An idle keep-alive connection parks its (non-daemonic) handler
+        # thread in readline(), and the drain below joins every handler
+        # thread -- so bound the idle read.  In-flight handlers are
+        # computing, not reading, and never hit this.
+        timeout = 5.0
+
+    class WorkerHTTPServer(ServiceHTTPServer):
+        # Graceful drain: non-daemonic handler threads are tracked and
+        # joined by server_close(), so in-flight requests always finish
+        # before the process exits.
+        daemon_threads = False
+
+        def __init__(self, address, service) -> None:
+            super().__init__(address, service)
+            self.RequestHandlerClass = WorkerRequestHandler
+
+    service = ShardWorkerService(
+        args.shard_dir,
+        args.shard_index,
+        replicas=args.replicas,
+        k=args.k,
+        m=args.m,
+        pool_size=args.pool_size,
+        cache_size=args.cache_size,
+        index_approach=args.index_approach,
+        replica_cooldown_s=args.replica_cooldown,
+        trace_enabled=not args.no_trace,
+    )
+    server = WorkerHTTPServer((args.host, args.port), service)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name=f"shard-worker-{args.shard_index}",
+        daemon=True,
+    )
+    thread.start()
+
+    # A SIGKILLed router never runs WorkerPool.terminate(), so without a
+    # watchdog its workers would outlive it forever (re-parented to
+    # init, still bound to their ports).  Poll the parent pid: when it
+    # changes, the router is gone and this worker drains itself.
+    parent = os.getppid()
+
+    def _watch_parent() -> None:
+        while not stop.wait(1.0):
+            if os.getppid() != parent:
+                stop.set()
+
+    if parent > 1:
+        threading.Thread(
+            target=_watch_parent, name="parent-watchdog", daemon=True
+        ).start()
+    # The port file is the readiness handshake: written atomically only
+    # once the socket is bound and the serve loop is running.
+    atomic_write_json(
+        args.port_file,
+        {
+            "port": server.server_address[1],
+            "pid": os.getpid(),
+            "shard": args.shard_index,
+        },
+    )
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()  # stop accepting new connections
+        server.server_close()  # join every in-flight handler (drain)
+        service.close()
+        with contextlib.suppress(OSError):
+            os.remove(args.port_file)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.workers",
+        description="Serve one shard of a layout as a worker process.",
+    )
+    parser.add_argument("--shard-dir", required=True)
+    parser.add_argument("--shard-index", type=int, required=True)
+    parser.add_argument("--port-file", required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument("--k", type=int, default=25)
+    parser.add_argument("--m", type=int, default=40)
+    parser.add_argument("--pool-size", type=int, default=2)
+    parser.add_argument("--cache-size", type=int, default=256)
+    parser.add_argument("--index-approach", default="staccato")
+    parser.add_argument(
+        "--replica-cooldown", type=float, default=DEFAULT_COOLDOWN_S
+    )
+    parser.add_argument("--no-trace", action="store_true")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    return run_worker(_build_parser().parse_args(argv))
+
+
+# ======================================================================
+# Router side: one worker's lifecycle + connections
+# ======================================================================
+class WorkerDeadline(Exception):
+    """The per-request deadline expired before the worker answered."""
+
+
+class WorkerUnavailable(Exception):
+    """The worker connection failed and the request may not be retried."""
+
+
+class _NoDelayConnection(http.client.HTTPConnection):
+    """An ``HTTPConnection`` with Nagle's algorithm disabled.
+
+    Request bodies and retried requests on a kept-alive socket must not
+    wait on the peer's delayed ACK; pair with the server side's
+    ``disable_nagle_algorithm`` or a reused connection costs ~40ms per
+    round trip.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class _ConnectionPool:
+    """Keep-alive ``http.client`` connections to one worker port."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []
+        self._closed = False
+
+    def acquire(self, fresh: bool = False) -> http.client.HTTPConnection:
+        if not fresh:
+            with self._lock:
+                if self._idle:
+                    return self._idle.pop()
+        return _NoDelayConnection(self.host, self.port, timeout=10)
+
+    def release(self, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < _POOL_IDLE_CAP:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close_all(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+class WorkerHandle:
+    """One worker subprocess, as the router sees it.
+
+    Owns the spawn command, the port-file readiness handshake, the
+    connection pool, and the per-request deadline/retry policy.  A
+    handle survives its process: :meth:`respawn` starts a fresh
+    subprocess on a fresh port and requests that were waiting on
+    readiness pick the new one up.
+    """
+
+    def __init__(
+        self,
+        shard_dir: str,
+        index: int,
+        spawn_flags: Sequence[str],
+        ready_timeout_s: float = WORKER_READY_TIMEOUT_S,
+    ) -> None:
+        self.shard_dir = shard_dir
+        self.index = index
+        self.spawn_flags = list(spawn_flags)
+        self.ready_timeout_s = ready_timeout_s
+        self.port_file = worker_port_file(shard_dir, index)
+        self.log_file = worker_log_file(shard_dir, index)
+        self.proc: subprocess.Popen | None = None
+        self.port: int | None = None
+        self.restarts = 0
+        self.draining = False
+        self._conns: _ConnectionPool | None = None
+        self._ready = threading.Event()
+        self._log_handle = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if self.proc is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "shard": self.index,
+            "pid": self.pid,
+            "port": self.port,
+            "alive": self.alive,
+            "ready": self._ready.is_set(),
+            "restarts": self.restarts,
+            "draining": self.draining,
+        }
+
+    # ------------------------------------------------------------------
+    def spawn(self) -> None:
+        os.makedirs(os.path.dirname(self.port_file), exist_ok=True)
+        with contextlib.suppress(OSError):
+            os.remove(self.port_file)
+        self._log_handle = open(self.log_file, "ab")
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            _SRC_ROOT + os.pathsep + existing if existing else _SRC_ROOT
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service.workers",
+                "--shard-dir",
+                self.shard_dir,
+                "--shard-index",
+                str(self.index),
+                "--port-file",
+                self.port_file,
+                *self.spawn_flags,
+            ],
+            stdout=self._log_handle,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        self._await_ready()
+
+    def _await_ready(self) -> None:
+        deadline = time.monotonic() + self.ready_timeout_s
+        port: int | None = None
+        while time.monotonic() < deadline:
+            if self.proc is None or self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"worker {self.index} exited during startup "
+                    f"(rc={self.proc.returncode if self.proc else '?'}); "
+                    f"see {self.log_file}"
+                )
+            try:
+                with open(self.port_file, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                if data.get("pid") == self.proc.pid:
+                    port = int(data["port"])
+                    break
+            except (OSError, json.JSONDecodeError, ValueError, TypeError,
+                    KeyError):
+                pass
+            time.sleep(0.02)
+        if port is None:
+            self._kill_quietly()
+            raise RuntimeError(
+                f"worker {self.index} did not publish its port within "
+                f"{self.ready_timeout_s:.0f}s; see {self.log_file}"
+            )
+        self.port = port
+        self._conns = _ConnectionPool("127.0.0.1", port)
+        # Confirm the serve loop answers before declaring readiness.
+        while time.monotonic() < deadline:
+            try:
+                status, _ = self._one_request("GET", "/health", None, 2.0)
+                if status == 200:
+                    self._ready.set()
+                    return
+            except (OSError, http.client.HTTPException, WorkerDeadline):
+                pass
+            time.sleep(0.05)
+        self._kill_quietly()
+        raise RuntimeError(
+            f"worker {self.index} bound port {port} but never answered "
+            f"/health; see {self.log_file}"
+        )
+
+    def respawn(self) -> None:
+        """Replace a dead process with a fresh one (supervisor path)."""
+        self._ready.clear()
+        if self._conns is not None:
+            self._conns.close_all()
+        if self._log_handle is not None:
+            with contextlib.suppress(OSError):
+                self._log_handle.close()
+        self.restarts += 1
+        self.spawn()
+
+    def _kill_quietly(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.kill()
+            with contextlib.suppress(Exception):
+                self.proc.wait(timeout=5)
+
+    def terminate(self, drain_timeout_s: float = 15.0) -> None:
+        """SIGTERM the worker and wait for its graceful drain."""
+        self.draining = True
+        self._ready.clear()
+        # Close the pooled keep-alive connections *before* waiting: the
+        # worker's drain joins their handler threads, which only leave
+        # readline() on EOF (or their idle timeout).
+        if self._conns is not None:
+            self._conns.close_all()
+        if self.proc is not None and self.proc.poll() is None:
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.terminate()
+            try:
+                self.proc.wait(timeout=drain_timeout_s)
+            except subprocess.TimeoutExpired:
+                self._kill_quietly()
+        if self._log_handle is not None:
+            with contextlib.suppress(OSError):
+                self._log_handle.close()
+        with contextlib.suppress(OSError):
+            os.remove(self.port_file)
+
+    # ------------------------------------------------------------------
+    def _one_request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        timeout_s: float,
+        conn: http.client.HTTPConnection | None = None,
+    ) -> tuple[int, object]:
+        """One attempt on one connection; raises on transport failure."""
+        pool = self._conns
+        owned = conn is None
+        if conn is None:
+            if pool is None:
+                raise ConnectionRefusedError("worker has no port yet")
+            conn = pool.acquire(fresh=True)
+        if conn.sock is not None:
+            conn.sock.settimeout(timeout_s)
+        else:
+            conn.timeout = timeout_s
+        try:
+            conn.request(
+                method, path, body=body, headers=_JSON_HEADERS if body else {}
+            )
+            response = conn.getresponse()
+            data = response.read()
+            will_close = response.will_close
+            status = response.status
+        except Exception:
+            conn.close()
+            raise
+        if owned or will_close:
+            conn.close()
+        elif pool is not None:
+            pool.release(conn)
+        try:
+            payload = json.loads(data) if data else None
+        except json.JSONDecodeError:
+            payload = data.decode("utf-8", "replace")
+        return status, payload
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        deadline: float,
+        idempotent: bool,
+        fresh: bool = False,
+    ) -> tuple[int, object]:
+        """One request with deadline, readiness wait, and retry policy.
+
+        Idempotent requests retry on any connection-level failure until
+        the deadline (a restart mid-request is invisible to the
+        client).  Non-idempotent requests run on a *fresh* connection
+        and retry only when the connection was refused -- the one case
+        where the request provably never reached the worker; any other
+        failure raises :class:`WorkerUnavailable`, because an ingest
+        batch may have committed before the crash and a blind re-send
+        would duplicate its rows.
+        """
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerDeadline(
+                    f"worker {self.index} did not answer before the deadline"
+                )
+            if not self._ready.wait(timeout=min(remaining, 0.25)):
+                if self.draining:
+                    raise WorkerUnavailable(
+                        f"worker {self.index} is shutting down"
+                    )
+                continue  # restarting; re-check the deadline and wait on
+            pool = self._conns
+            if pool is None:
+                continue
+            conn = None
+            if idempotent and not fresh:
+                conn = pool.acquire()
+            try:
+                return self._one_request(
+                    method, path, body, remaining, conn=conn
+                )
+            except (socket.timeout, TimeoutError) as exc:
+                raise WorkerDeadline(str(exc) or "socket timeout") from exc
+            except (OSError, http.client.HTTPException) as exc:
+                if idempotent or isinstance(exc, ConnectionRefusedError):
+                    time.sleep(0.05)
+                    continue
+                raise WorkerUnavailable(
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+
+
+class WorkerPool:
+    """Spawn, supervise and address the full set of shard workers."""
+
+    def __init__(
+        self,
+        shard_dir: str,
+        num_shards: int,
+        spawn_flags: Sequence[str],
+        metrics: ServiceMetrics,
+        on_restart=None,
+        ready_timeout_s: float = WORKER_READY_TIMEOUT_S,
+    ) -> None:
+        self.metrics = metrics
+        self.on_restart = on_restart
+        self.handles = [
+            WorkerHandle(
+                shard_dir, index, spawn_flags, ready_timeout_s=ready_timeout_s
+            )
+            for index in range(num_shards)
+        ]
+        self._closed = False
+        # Spawn concurrently: each worker pays its own DB/replica
+        # startup, and N of those in sequence would dominate boot time.
+        with ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="worker-spawn"
+        ) as spawner:
+            errors = [
+                error
+                for error in spawner.map(
+                    lambda h: self._try_spawn(h), self.handles
+                )
+                if error is not None
+            ]
+        if errors:
+            self.close()
+            raise errors[0]
+        self._stop = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="worker-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    @staticmethod
+    def _try_spawn(handle: WorkerHandle) -> Exception | None:
+        try:
+            handle.spawn()
+            return None
+        except Exception as exc:  # noqa: BLE001 - re-raised by __init__
+            return exc
+
+    # ------------------------------------------------------------------
+    def handle(self, index: int) -> WorkerHandle:
+        return self.handles[index]
+
+    def describe(self) -> dict[str, dict[str, object]]:
+        return {
+            str(handle.index): handle.describe() for handle in self.handles
+        }
+
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        """Restart crashed workers; a SIGSTOPped worker is *not* dead
+        (its process still exists), so only the request deadline guards
+        against a wedged one."""
+        while not self._stop.wait(_SUPERVISE_INTERVAL_S):
+            for handle in self.handles:
+                if self._closed or handle.draining:
+                    continue
+                if handle.proc is None or handle.proc.poll() is None:
+                    continue
+                self.metrics.event("worker_restart")
+                try:
+                    handle.respawn()
+                except Exception:  # noqa: BLE001 - retried next tick
+                    self.metrics.event("worker_restart_failed")
+                    continue
+                if self.on_restart is not None:
+                    with contextlib.suppress(Exception):
+                        self.on_restart(handle.index)
+
+    def close(self) -> None:
+        self._closed = True
+        stop = getattr(self, "_stop", None)
+        if stop is not None:
+            stop.set()
+            self._supervisor.join(timeout=5)
+        with ThreadPoolExecutor(
+            max_workers=max(1, len(self.handles)),
+            thread_name_prefix="worker-drain",
+        ) as drainer:
+            list(drainer.map(lambda h: h.terminate(), self.handles))
+
+
+class _RouterGenerations:
+    """Duck-types the ``ShardedPool`` generation surface for the router.
+
+    The router is the sole write path, so its counters advance exactly
+    like the in-process router's; a worker restart also bumps (the
+    dead process may have committed a batch whose acknowledgement was
+    lost, and any cached result computed before it must stop matching).
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        self._lock = threading.Lock()
+        self._generations = [0] * num_shards
+
+    def generations(self, scope: Sequence[int]) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(self._generations[i] for i in scope)
+
+    def bump(self, scope) -> None:
+        with self._lock:
+            for i in scope:
+                self._generations[i] += 1
+
+    def resume_generations(self, generations) -> None:
+        with self._lock:
+            for i, generation in enumerate(generations):
+                if generation is None:
+                    continue
+                self._generations[i] = max(
+                    self._generations[i], int(generation)
+                )
+
+
+# ======================================================================
+# The fan-out router over worker subprocesses
+# ======================================================================
+class WorkerRouterService(ShardedQueryService):
+    """``ShardedQueryService``'s wire contract over worker subprocesses.
+
+    Subclasses the in-process router for the parts that are storage-
+    independent -- the routing table and its atomic publish, pending-
+    move bookkeeping, the placement registry, cache keying/invalidation,
+    fan-out executors, the jobs/observability APIs -- and replaces every
+    shard leg with an HTTP call to that shard's worker.  ``__init__``
+    deliberately does NOT call ``super().__init__``: the base would
+    open every shard file in-process, and the workers own those files.
+    """
+
+    def __init__(  # noqa: PLR0913 - mirrors ShardedQueryService
+        self,
+        shard_dir: str,
+        num_shards: int,
+        k: int = 25,
+        m: int = 40,
+        pool_size: int = 2,
+        cache_size: int = 256,
+        index_approach: str = "staccato",
+        range_width: int = DEFAULT_RANGE_WIDTH,
+        replicas: int = 1,
+        replica_cooldown_s: float = DEFAULT_COOLDOWN_S,
+        workers: int = 2,
+        trace_enabled: bool = True,
+        trace_ring: int = trace.DEFAULT_TRACE_RING,
+        slow_query_ms: float | None = None,
+        slow_log_path: str | None = None,
+        access_log_path: str | None = None,
+        deadline_s: float = DEFAULT_DEADLINE_S,
+        write_deadline_s: float = DEFAULT_WRITE_DEADLINE_S,
+        hedge_delay_s: float | None = DEFAULT_HEDGE_DELAY_S,
+        worker_ready_timeout_s: float = WORKER_READY_TIMEOUT_S,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("a sharded service needs at least one shard")
+        os.makedirs(shard_dir, exist_ok=True)
+        self.shard_dir = shard_dir
+        self.sidecar_dir = shard_dir
+        self.num_shards = num_shards
+        self.range_width = range_width
+        self.index_approach = index_approach
+        self.num_replicas = replicas
+        self.paths = shard_paths(shard_dir, num_shards)
+        self.deadline_s = float(deadline_s)
+        self.write_deadline_s = float(write_deadline_s)
+        self.hedge_delay_s = hedge_delay_s
+        self.cache = QueryCache(cache_size)
+        self.metrics = ServiceMetrics()
+        self.tracer = Tracer(
+            enabled=trace_enabled,
+            ring=trace_ring,
+            slow_query_ms=slow_query_ms,
+            slow_log_path=slow_log_path,
+            access_log_path=access_log_path,
+        )
+        self._rr_lock = threading.Lock()
+        self._rr_next = 0
+        self._placements: "OrderedDict[int, int]" = OrderedDict()
+        # Unlike the in-process router (whose shard legs are GIL-bound
+        # scans, so num_shards threads suffice), these legs just wait on
+        # worker sockets -- size the fan-out for concurrent requests or
+        # every in-flight client serializes through num_shards threads.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(16, 4 * num_shards),
+            thread_name_prefix="worker-fanout",
+        )
+        self._write_executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="worker-writes"
+        )
+        # Hedged reads need somewhere to park both attempts: the primary
+        # occupies one slot for its full (possibly wedged) duration.
+        self._hedge_executor = ThreadPoolExecutor(
+            max_workers=max(32, 8 * num_shards),
+            thread_name_prefix="worker-hedge",
+        )
+        self._routing_lock = threading.Lock()
+        self._inflight_lock = threading.Lock()
+        self._inflight: dict[tuple, threading.Event] = {}
+        self._routing = RoutingTable.load(shard_dir, num_shards, range_width)
+        self._move_gate = _MoveGate()
+        self._pending_moves = self._load_pending_moves()
+        for pending in self._pending_moves:
+            self._move_gate.register(pending)
+        self._rebalance_after_copy = None
+        self.pool = _RouterGenerations(num_shards)
+        # Router-level write locks: a worker serializes its *own* writes,
+        # but a rebalance needs its multi-request critical section (and
+        # mutual exclusion against ingest/index legs) enforced here.
+        self._worker_locks = [
+            threading.Lock() for _ in range(num_shards)
+        ]
+        spawn_flags = [
+            "--replicas", str(replicas),
+            "--k", str(k),
+            "--m", str(m),
+            "--pool-size", str(pool_size),
+            "--cache-size", str(cache_size),
+            "--index-approach", index_approach,
+            "--replica-cooldown", str(replica_cooldown_s),
+        ]
+        if not trace_enabled:
+            spawn_flags.append("--no-trace")
+        try:
+            self._workers = WorkerPool(
+                shard_dir,
+                num_shards,
+                spawn_flags,
+                self.metrics,
+                on_restart=self._worker_restarted,
+                ready_timeout_s=worker_ready_timeout_s,
+            )
+        except Exception:
+            self._executor.shutdown(wait=False)
+            self._write_executor.shutdown(wait=False)
+            self._hedge_executor.shutdown(wait=False)
+            self.tracer.close()
+            raise
+        self.jobs = JobEngine(
+            self,
+            os.path.join(shard_dir, JOBS_JOURNAL_FILE),
+            workers=workers,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.jobs.shutdown()
+        self._executor.shutdown(wait=True)
+        self._write_executor.shutdown(wait=True)
+        # Hedge legs may be parked on a wedged worker until their
+        # deadline; do not wait for them (their sockets die with the
+        # workers below).
+        self._hedge_executor.shutdown(wait=False, cancel_futures=True)
+        self._workers.close()
+        self.tracer.close()
+
+    def _worker_restarted(self, index: int) -> None:
+        """A worker came back from a crash: its file may hold a batch
+        committed after the last acknowledged write, so cached results
+        for the shard can no longer be trusted."""
+        self.pool.bump({index})
+        self._invalidate_shards({index})
+
+    # ------------------------------------------------------------------
+    # The one RPC path every leg goes through
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mark_trace_echo(payload: object) -> None:
+        """Record on the root span that the client asked for the trace
+        echo, so fan-out legs (which only see their constructed RPC
+        bodies) know whether to request the worker's span tree."""
+        if isinstance(payload, Mapping) and payload.get("trace") is True:
+            root = trace.current_root()
+            if root is not None:
+                root.annotate(trace_echo=True)
+
+    @staticmethod
+    def _trace_echo_requested() -> bool:
+        root = trace.current_root()
+        return bool(root is not None and root.attrs.get("trace_echo"))
+
+    # ------------------------------------------------------------------
+    def _singleflight(self, key: tuple) -> threading.Event | None:
+        """Coalesce identical concurrent cache misses onto one fan-out.
+
+        Returns an :class:`~threading.Event` when the caller is the
+        leader (it must fan out and then call
+        :meth:`_singleflight_done`); returns None after waiting for an
+        in-flight leader, in which case the caller re-probes the cache
+        and falls back to its own fan-out on a miss (leader failed, or
+        the cache is disabled/was invalidated).
+        """
+        with self._inflight_lock:
+            event = self._inflight.get(key)
+            if event is None:
+                event = threading.Event()
+                self._inflight[key] = event
+                return event
+        event.wait(self.deadline_s)
+        return None
+
+    def _singleflight_done(self, key: tuple, event: threading.Event) -> None:
+        with self._inflight_lock:
+            if self._inflight.get(key) is event:
+                del self._inflight[key]
+        event.set()
+
+    def _call_worker(
+        self,
+        index: int,
+        method: str,
+        path: str,
+        body: Mapping[str, object] | None = None,
+        *,
+        endpoint: str,
+        idempotent: bool,
+        deadline: float | None = None,
+        hedge: bool = False,
+    ) -> dict[str, object]:
+        """One worker RPC: deadline, tracing, metrics, error mapping.
+
+        A worker's structured error passes through with its status and
+        code intact (so a worker-side 400/503 reads exactly like the
+        in-process leg's).  Deadline expiry maps to the 503
+        ``deadline_exceeded`` contract with a matching trace span and
+        metrics event; an unretryable connection failure maps to 503
+        ``shard_unavailable``.
+        """
+        if deadline is None:
+            deadline = time.monotonic() + (
+                self.deadline_s if idempotent else self.write_deadline_s
+            )
+        handle = self._workers.handle(index)
+        span = trace.current_span()
+        # Only ask the worker for its span tree when the client asked
+        # for one: the worker-side build + serialize + parse costs real
+        # milliseconds per leg, which untraced requests must not pay.
+        want_trace = (
+            span is not None
+            and method == "POST"
+            and isinstance(body, Mapping)
+            and self._trace_echo_requested()
+        )
+        if want_trace:
+            body = {**body, "trace": True}
+        raw = None if body is None else json.dumps(body).encode("utf-8")
+        started = time.perf_counter()
+        try:
+            if hedge and idempotent and self.hedge_delay_s is not None:
+                status, payload = self._hedged_request(
+                    handle, method, path, raw, deadline
+                )
+            else:
+                status, payload = handle.request(
+                    method, path, raw, deadline=deadline, idempotent=idempotent
+                )
+        except WorkerDeadline as exc:
+            self.metrics.event("deadline_exceeded")
+            self.metrics.observe_shard(
+                index, endpoint, time.perf_counter() - started, error=True
+            )
+            with trace.span("deadline_exceeded", shard=index):
+                pass
+            raise ApiError(
+                503,
+                f"shard {index} worker did not answer within its deadline: "
+                f"{exc}",
+                code="deadline_exceeded",
+            ) from exc
+        except WorkerUnavailable as exc:
+            self.metrics.observe_shard(
+                index, endpoint, time.perf_counter() - started, error=True
+            )
+            raise ApiError(
+                503,
+                f"shard {index} worker unavailable: {exc}",
+                code="shard_unavailable",
+            ) from exc
+        if isinstance(payload, dict) and want_trace:
+            worker_trace = payload.pop("trace", None)
+            if worker_trace and span is not None:
+                # The worker's span tree crosses the process boundary as
+                # a response annotation and lands in the router's trace.
+                span.annotate(worker=worker_trace)
+        if status >= 400:
+            self.metrics.observe_shard(
+                index, endpoint, time.perf_counter() - started, error=True
+            )
+            error = payload.get("error") if isinstance(payload, dict) else None
+            if isinstance(error, Mapping) and "message" in error:
+                raise ApiError(
+                    status,
+                    str(error.get("message")),
+                    code=str(error.get("code", "worker_error")),
+                )
+            raise ApiError(
+                502,
+                f"shard {index} worker answered {status} with an "
+                "unexpected body",
+                code="worker_error",
+            )
+        self.metrics.observe_shard(
+            index, endpoint, time.perf_counter() - started
+        )
+        return payload if isinstance(payload, dict) else {}
+
+    def _hedged_request(
+        self,
+        handle: WorkerHandle,
+        method: str,
+        path: str,
+        raw: bytes | None,
+        deadline: float,
+    ) -> tuple[int, object]:
+        """Race a second attempt against a slow first one; first answer
+        wins.  Both attempts share the request deadline; the loser's
+        connection is simply closed when it eventually finishes."""
+        primary = self._hedge_executor.submit(
+            handle.request, method, path, raw,
+            deadline=deadline, idempotent=True,
+        )
+        delay = min(self.hedge_delay_s, max(0.0, deadline - time.monotonic()))
+        done, _ = wait([primary], timeout=delay)
+        if done:
+            return primary.result()
+        self.metrics.event("hedged_request")
+        backup = self._hedge_executor.submit(
+            handle.request, method, path, raw,
+            deadline=deadline, idempotent=True, fresh=True,
+        )
+        pending = {primary, backup}
+        error: Exception | None = None
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    return future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    error = exc
+        assert error is not None
+        raise error
+
+    # ------------------------------------------------------------------
+    # Seams the inherited machinery calls into
+    # ------------------------------------------------------------------
+    def _worker_meta(self, index: int) -> dict[str, object]:
+        try:
+            meta = self._call_worker(
+                index, "GET", "/worker/meta", endpoint="stats",
+                idempotent=True,
+            )
+        except ApiError as exc:
+            raise ReplicaUnavailable(str(exc)) from exc
+        if meta.get("lines") is None:
+            raise ReplicaUnavailable(
+                f"shard {index} worker has no live replica"
+            )
+        return meta
+
+    def _shard_lines(self, index: int) -> int:
+        return self._worker_meta(index)["lines"]
+
+    def _lines_and_index(self, index: int):
+        meta = self._worker_meta(index)
+        return meta["lines"], meta.get("index")
+
+    def _existing_owners(self, doc_ids: Sequence[int]) -> dict[int, int]:
+        if self.num_shards == 1 or not doc_ids:
+            return {}
+        ids = sorted(set(doc_ids))
+        deadline = time.monotonic() + self.deadline_s
+        body = {"doc_ids": ids, "relation": "master"}
+
+        def leg(index: int) -> set[int]:
+            result = self._call_worker(
+                index, "POST", "/worker/probe", body, endpoint="ingest",
+                idempotent=True, deadline=deadline,
+            )
+            return set(result.get("present", ()))
+
+        owners: dict[int, int] = {}
+        for index, present in enumerate(
+            self._fan_out(range(self.num_shards), leg)
+        ):
+            for doc_id in present:
+                owners.setdefault(doc_id, index)
+        return owners
+
+    # ------------------------------------------------------------------
+    # Ingest (the shared ingest() body drives these two overrides)
+    # ------------------------------------------------------------------
+    def _split_moved_remote(self, index: int, docs):
+        """The worker-topology twin of ``_split_moved``: the presence
+        probe travels over the worker's ``/worker/probe`` RPC."""
+        routing = self.routing
+        stay, overridden = [], []
+        for doc in docs:
+            override = routing.override_owner(doc.doc_id)
+            if override is None or override == index:
+                stay.append(doc)
+            else:
+                overridden.append(doc)
+        if not overridden:
+            return stay, []
+        result = self._call_worker(
+            index,
+            "POST",
+            "/worker/probe",
+            {
+                "doc_ids": [doc.doc_id for doc in overridden],
+                "relation": "documents",
+            },
+            endpoint="ingest",
+            idempotent=True,
+        )
+        present = set(result.get("present", ()))
+        moved = [doc for doc in overridden if doc.doc_id not in present]
+        stay.extend(doc for doc in overridden if doc.doc_id in present)
+        return stay, moved
+
+    def _ingest_leg(self, groups, request):
+        def leg(index: int):
+            docs = groups[index]
+            with self._worker_locks[index]:
+                stay, moved = self._split_moved_remote(index, docs)
+                if stay:
+                    body: dict[str, object] = {
+                        "dataset": request.dataset.name,
+                        "documents": [
+                            {
+                                "doc_id": doc.doc_id,
+                                "name": doc.name,
+                                "year": doc.year,
+                                "loss": doc.loss,
+                                "lines": list(doc.lines),
+                            }
+                            for doc in stay
+                        ],
+                        "ocr_seed": request.ocr_seed,
+                        "approaches": list(request.approaches),
+                        "route": "range",
+                    }
+                    if request.workers is not None:
+                        body["workers"] = request.workers
+                    result = self._call_worker(
+                        index, "POST", "/ingest", body, endpoint="ingest",
+                        idempotent=False,
+                    )
+                    count = int(result.get("ingested_lines", 0))
+                    total = int(result.get("total_lines", 0))
+                else:
+                    count = 0
+                    try:
+                        total = self._shard_lines(index)
+                    except ReplicaUnavailable as exc:
+                        raise self._shard_unavailable(index, exc) from exc
+            return index, count, total, moved
+
+        return leg
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def search(self, payload: object) -> dict[str, object]:
+        self._mark_trace_echo(payload)
+        with trace.span("validate"):
+            request = validate_search(payload)
+            scope = self._scope(request.shards)
+            check_pattern(request.pattern)
+        key = (
+            "search",
+            scope,
+            self.pool.generations(scope),
+            request.pattern,
+            request.approach,
+            request.plan,
+            request.num_ans,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return {**cached, "cached": True}
+        flight = self._singleflight(key)
+        if flight is None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return {**cached, "cached": True}
+        try:
+            started = time.perf_counter()
+            deadline = time.monotonic() + self.deadline_s
+            body = {
+                "pattern": request.pattern,
+                "approach": request.approach,
+                "plan": request.plan,
+                "num_ans": request.num_ans,
+            }
+
+            def leg(index: int) -> tuple[int, str, list[Answer]]:
+                result = self._call_worker(
+                    index, "POST", "/search", body, endpoint="search",
+                    idempotent=True, deadline=deadline, hedge=True,
+                )
+                answers = [
+                    Answer(
+                        line_id=row["line_id"],
+                        doc_id=row["doc_id"],
+                        line_no=row["line_no"],
+                        probability=row["probability"],
+                    )
+                    for row in result.get("answers", ())
+                ]
+                return index, result.get("plan", "filescan"), answers
+
+            with self._move_gate.read():
+                with trace.span("router", shards=len(scope)):
+                    results = self._fan_out(scope, leg)
+            with trace.span("merge"):
+                merged = merge_ranked(
+                    [(index, answers) for index, _, answers in results],
+                    request.num_ans,
+                )
+            labels = {label for _, label, _ in results}
+            result = {
+                "pattern": request.pattern,
+                "approach": request.approach,
+                "plan": labels.pop() if len(labels) == 1 else "mixed",
+                "plans": {str(index): label for index, label, _ in results},
+                "shards": list(scope),
+                "count": len(merged),
+                "answers": [
+                    {**answer_row(answer), "shard": shard}
+                    for shard, answer in merged
+                ],
+                "elapsed_s": time.perf_counter() - started,
+            }
+            self.cache.put(key, result)
+        finally:
+            if flight is not None:
+                self._singleflight_done(key, flight)
+        return {**result, "cached": False}
+
+    def sql(self, payload: object) -> dict[str, object]:
+        self._mark_trace_echo(payload)
+        with trace.span("validate"):
+            request = validate_sql(payload)
+            scope = self._scope(request.shards)
+        key = (
+            "sql",
+            scope,
+            self.pool.generations(scope),
+            request.query,
+            request.approach,
+            request.num_ans,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return {**cached, "cached": True}
+        try:
+            parsed = parse_select(request.query)
+        except SqlError as exc:
+            raise ApiError(400, str(exc), code="sql_error") from exc
+        flight = self._singleflight(key)
+        if flight is None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return {**cached, "cached": True}
+        try:
+            started = time.perf_counter()
+            deadline = time.monotonic() + self.deadline_s
+            scope_set = set(scope)
+            with self._move_gate.read() as moves:
+                move_safe = any(
+                    m_src in scope_set and m_dst in scope_set
+                    for _, _, m_src, m_dst in moves
+                )
+                body = {
+                    "query": request.query,
+                    "approach": request.approach,
+                    "rows": move_safe,
+                }
+
+                def leg(index: int) -> list[dict[str, object]]:
+                    result = self._call_worker(
+                        index, "POST", "/worker/sql", body, endpoint="sql",
+                        idempotent=True, deadline=deadline, hedge=True,
+                    )
+                    return result.get("rows", [])
+
+                with trace.span("router", shards=len(scope)):
+                    shard_rows = self._fan_out(scope, leg)
+            try:
+                with trace.span("merge"):
+                    if move_safe:
+                        seen_docs: set[object] = set()
+                        deduped: list[dict[str, object]] = []
+                        for rows_ in shard_rows:
+                            for row in rows_:
+                                if row["DocId"] in seen_docs:
+                                    continue
+                                seen_docs.add(row["DocId"])
+                                deduped.append(row)
+                        if parsed.is_aggregate:
+                            rows = aggregate_full_rows(parsed, deduped)
+                        else:
+                            rows = merge_shard_rows(
+                                parsed, [deduped], num_ans=request.num_ans
+                            )
+                    else:
+                        rows = merge_shard_rows(
+                            parsed, shard_rows, num_ans=request.num_ans
+                        )
+            except SqlError as exc:
+                raise ApiError(400, str(exc), code="sql_error") from exc
+            result = {
+                "query": request.query,
+                "approach": request.approach,
+                "shards": list(scope),
+                "count": len(rows),
+                "rows": rows,
+                "elapsed_s": time.perf_counter() - started,
+            }
+            self.cache.put(key, result)
+        finally:
+            if flight is not None:
+                self._singleflight_done(key, flight)
+        return {**result, "cached": False}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def ingest(self, payload: object) -> dict[str, object]:
+        self._mark_trace_echo(payload)
+        return super().ingest(payload)
+
+    def index(self, payload: object) -> dict[str, object]:
+        self._mark_trace_echo(payload)
+        request = validate_index(payload)
+        scope = self._scope(request.shards)
+        started = time.perf_counter()
+        # ``wait`` keeps the worker-side call synchronous: POST /index is
+        # the ``rebuild_index`` job endpoint, and the router's own job
+        # runner is already the one holding a worker slot for the build.
+        body = {
+            "terms": list(request.terms),
+            "approach": request.approach,
+            "wait": True,
+        }
+
+        def leg(index: int) -> tuple[int, int, bool]:
+            with self._worker_locks[index]:
+                result = self._call_worker(
+                    index, "POST", "/index", body, endpoint="index",
+                    idempotent=False,
+                )
+            shards = result.get("shards")
+            block = shards.get("0", {}) if isinstance(shards, dict) else {}
+            return (
+                index,
+                int(block.get("postings", 0)),
+                bool(block.get("reloaded", False)),
+            )
+
+        results, error = self._fan_out_writes(scope, leg)
+        touched = {index for index, _, _ in results}
+        self.pool.bump(touched)
+        evicted = self._invalidate_shards(touched)
+        if error is not None:
+            raise error
+        return {
+            "approach": request.approach,
+            "terms": len(request.terms),
+            "postings": sum(postings for _, postings, _ in results),
+            "shards": {
+                str(index): {"postings": postings, "reloaded": reloaded}
+                for index, postings, reloaded in results
+            },
+            "evicted_cache_entries": evicted,
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+    def replicas(self, payload: object) -> dict[str, object]:
+        self._mark_trace_echo(payload)
+        request = validate_replicas(payload)
+        if request.shard >= self.num_shards:
+            raise ApiError(
+                400,
+                f"unknown shard {request.shard}; this service has "
+                f"{self.num_shards} shards (0..{self.num_shards - 1})",
+                code="unknown_shard",
+            )
+        started = time.perf_counter()
+        body: dict[str, object] = {"action": request.action, "shard": 0}
+        if request.replica is not None:
+            body["replica"] = request.replica
+        with self._worker_locks[request.shard]:
+            try:
+                result = self._call_worker(
+                    request.shard, "POST", "/replicas", body,
+                    endpoint="replicas", idempotent=False,
+                )
+            except ApiError as exc:
+                # The worker knows itself as shard 0; its error text must
+                # name the global shard the client addressed.
+                raise ApiError(
+                    exc.status,
+                    exc.message.replace(
+                        "shard 0", f"shard {request.shard}", 1
+                    ),
+                    code=exc.code,
+                ) from exc
+        result = dict(result)
+        # The worker knows itself as shard 0; restore the global index
+        # (and the router's own timing) for the client-facing payload.
+        result["shard"] = request.shard
+        result["elapsed_s"] = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Rebalance across processes
+    # ------------------------------------------------------------------
+    def job_rebalance(self, job: Job, params) -> dict[str, object]:
+        """Move one DocId range between two *worker* shards.
+
+        Phase-for-phase the in-process rebalance (announce, snapshot,
+        copy+verify, swap, delete, invalidate), with the copy executed
+        by the target worker via SQLite ATTACH of the source shard
+        *file* -- the router holds both workers' write locks, so no
+        write can land on either side mid-move.
+        """
+        request = validate_rebalance_params(params, self.num_shards)
+        lo, hi = request.doc_lo, request.doc_hi
+        src, dst = request.source, request.target
+        job.check_cancelled()
+        move = (lo, hi, src, dst)
+        self._move_gate.begin(move)
+        moved_docs: list[int] = []
+        moved_lines = 0
+        evicted = 0
+        delete_incomplete = False
+        converged = False
+        copy_landed = False
+
+        def rebalance_rpc(index: int, body: dict) -> dict[str, object]:
+            return self._call_worker(
+                index, "POST", "/worker/rebalance", body,
+                endpoint="rebalance", idempotent=False,
+            )
+
+        try:
+            with ordered_locks(
+                (src, self._worker_locks[src]), (dst, self._worker_locks[dst])
+            ):
+                job.update(progress=0.1)
+                snapshot = rebalance_rpc(
+                    src, {"action": "snapshot", "doc_lo": lo, "doc_hi": hi}
+                )
+                moved_docs = list(snapshot.get("docs", ()))
+                moved_lines = int(snapshot.get("lines", 0))
+                source_path = snapshot.get("source_path")
+                job.update(
+                    progress=0.2, docs=len(moved_docs), lines=moved_lines
+                )
+                job.check_cancelled()
+                copied_docs: list[int] = []
+                if moved_docs:
+                    self._record_pending_move(move)
+                    copied = rebalance_rpc(
+                        dst,
+                        {
+                            "action": "copy",
+                            "source_path": source_path,
+                            "doc_ids": moved_docs,
+                            "expect_lines": moved_lines,
+                        },
+                    )
+                    copied_docs = list(copied.get("copied", ()))
+                    copy_landed = True
+                job.update(progress=0.6)
+                if self._rebalance_after_copy is not None:
+                    self._rebalance_after_copy(job)
+                if job.cancel_requested:
+                    if copied_docs:
+                        try:
+                            rebalance_rpc(
+                                dst,
+                                {"action": "delete", "doc_ids": copied_docs},
+                            )
+                        except ApiError as exc:
+                            delete_incomplete = True
+                            raise ApiError(
+                                503 if exc.status == 503 else 500,
+                                f"rebalance {job.id} was cancelled but "
+                                f"could not roll the copies back off "
+                                f"shard {dst}: {exc.message}; re-submit the "
+                                "same rebalance to converge (forward)",
+                                code="rebalance_incomplete",
+                            ) from exc
+                    raise JobCancelled(
+                        f"rebalance {job.id} cancelled after copy; "
+                        "target rolled back, routing unchanged"
+                    )
+                self._publish_routing(self.routing.with_move(lo, hi, dst))
+                job.update(progress=0.75)
+                if moved_docs:
+                    try:
+                        self._move_gate.barrier()
+                        rebalance_rpc(
+                            src, {"action": "delete", "doc_ids": moved_docs}
+                        )
+                    except Exception as exc:
+                        delete_incomplete = True
+                        status = (
+                            503
+                            if isinstance(exc, ApiError) and exc.status == 503
+                            else 500
+                        )
+                        message = (
+                            exc.message if isinstance(exc, ApiError) else str(exc)
+                        )
+                        raise ApiError(
+                            status,
+                            f"rebalance switched ownership of "
+                            f"[{lo}, {hi}] to shard {dst} but could not "
+                            f"delete the moved rows from shard {src}: "
+                            f"{message}; re-submit the same rebalance once "
+                            f"the shard is writable to converge",
+                            code="rebalance_incomplete",
+                        ) from exc
+                job.update(progress=0.9)
+            with self._rr_lock:
+                for doc_id in moved_docs:
+                    self._placements.pop(doc_id, None)
+            converged = True
+        finally:
+            if copy_landed:
+                self.pool.bump({src, dst})
+                evicted = self._invalidate_shards({src, dst})
+            if not delete_incomplete:
+                self._finish_move(move, converged)
+        job.update(progress=1.0, evicted_cache_entries=evicted)
+        return {
+            "doc_lo": lo,
+            "doc_hi": hi,
+            "source": src,
+            "target": dst,
+            "moved_docs": len(moved_docs),
+            "moved_lines": moved_lines,
+            "evicted_cache_entries": evicted,
+        }
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, object]:
+        deadline = time.monotonic() + self.deadline_s
+
+        def leg(index: int):
+            try:
+                return self._call_worker(
+                    index, "GET", "/health", endpoint="health",
+                    idempotent=True, deadline=deadline,
+                )
+            except ApiError:
+                return None
+
+        results = self._fan_out(tuple(range(self.num_shards)), leg)
+        per_shard: dict[str, int | None] = {}
+        replica_health: dict[str, dict[str, int]] = {}
+        degraded = False
+        for index, shard_health in enumerate(results):
+            if shard_health is None:
+                per_shard[str(index)] = None
+                replica_health[str(index)] = {"healthy": 0, "attached": 0}
+                degraded = True
+                continue
+            lines = (shard_health.get("shard_lines") or {}).get("0")
+            per_shard[str(index)] = lines
+            if shard_health.get("status") != "ok" or lines is None:
+                degraded = True
+            replica_health[str(index)] = (
+                shard_health.get("replicas") or {}
+            ).get("0", {"healthy": 0, "attached": 0})
+        return {
+            "status": "degraded" if degraded else "ok",
+            "db": self.shard_dir,
+            "num_shards": self.num_shards,
+            "lines": sum(n for n in per_shard.values() if n is not None),
+            "shard_lines": per_shard,
+            "replicas": replica_health,
+            "workers": self._workers.describe(),
+            "uptime_s": self.metrics.uptime_s,
+        }
+
+    @staticmethod
+    def _reindex_labels(node, index: int):
+        """The worker knows itself as shard 0; its pool/replica labels
+        must name the global shard in the client-facing payload (the
+        in-process router's labels do, and /stats readers key on them).
+        """
+        if isinstance(node, dict):
+            return {
+                key: (
+                    f"shard-{index}/{value[len('shard-0/'):]}"
+                    if key == "label"
+                    and isinstance(value, str)
+                    and value.startswith("shard-0/")
+                    else WorkerRouterService._reindex_labels(value, index)
+                )
+                for key, value in node.items()
+            }
+        if isinstance(node, list):
+            return [
+                WorkerRouterService._reindex_labels(item, index)
+                for item in node
+            ]
+        return node
+
+    def stats(self) -> dict[str, object]:
+        def leg(index: int):
+            try:
+                return self._call_worker(
+                    index, "GET", "/stats", endpoint="stats", idempotent=True
+                )
+            except ApiError:
+                return None
+
+        results = self._fan_out(tuple(range(self.num_shards)), leg)
+        shard_stats: list[dict[str, object]] = []
+        for index, worker_stats in enumerate(results):
+            entry: dict[str, object] = {
+                "index": index,
+                "path": self.paths[index],
+                "generation": self.pool.generations((index,))[0],
+            }
+            blocks = (
+                worker_stats.get("shards")
+                if isinstance(worker_stats, dict)
+                else None
+            )
+            block = blocks[0] if isinstance(blocks, list) and blocks else {}
+            for field in ("pool", "replicas", "lines", "storage_bytes"):
+                entry[field] = self._reindex_labels(block.get(field), index)
+            shard_stats.append(entry)
+        return {
+            "db": {
+                "shard_dir": self.shard_dir,
+                "num_shards": self.num_shards,
+                "range_width": self.range_width,
+                "num_replicas": self.num_replicas,
+                "lines": sum(
+                    s["lines"] for s in shard_stats if s["lines"] is not None
+                ),
+            },
+            "shards": shard_stats,
+            "routing": self.routing.to_json(),
+            "cache": self.cache.stats(),
+            "jobs": self.jobs.stats(),
+            "requests": self.metrics.snapshot(),
+            "workers": self._workers.describe(),
+            "uptime_s": self.metrics.uptime_s,
+        }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

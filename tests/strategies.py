@@ -11,10 +11,18 @@ import random
 
 from hypothesis import strategies as st
 
+from repro.service.shards import RoutingTable
 from repro.sfa.builder import random_chain_sfa, random_dag_sfa
 from repro.sfa.model import Sfa
 
-__all__ = ["chain_sfas", "dag_sfas", "keyword_patterns", "regex_patterns"]
+__all__ = [
+    "chain_sfas",
+    "dag_sfas",
+    "keyword_patterns",
+    "regex_patterns",
+    "routing_moves",
+    "routing_tables",
+]
 
 
 @st.composite
@@ -53,3 +61,38 @@ def regex_patterns(draw, max_atoms: int = 5) -> str:
             atom += "*"
         parts.append(atom)
     return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# DocId routing (repro.service.shards.RoutingTable): random geometries
+# and rebalance-move sequences, including the mid-rebalance states
+# where overrides splice over earlier overrides.
+# ----------------------------------------------------------------------
+@st.composite
+def routing_moves(
+    draw, num_shards: int, max_moves: int = 6, max_doc: int = 512
+) -> list[tuple[int, int, int]]:
+    """Sequences of ``(doc_lo, doc_hi, target)`` rebalance moves."""
+    moves = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_moves))):
+        a = draw(st.integers(min_value=0, max_value=max_doc))
+        b = draw(st.integers(min_value=0, max_value=max_doc))
+        target = draw(st.integers(min_value=0, max_value=num_shards - 1))
+        moves.append((min(a, b), max(a, b), target))
+    return moves
+
+
+@st.composite
+def routing_tables(
+    draw, max_shards: int = 5, max_moves: int = 6, max_doc: int = 512
+) -> RoutingTable:
+    """Routing tables reached by applying random move sequences --
+    exactly the states a router can publish mid-rebalance."""
+    num_shards = draw(st.integers(min_value=1, max_value=max_shards))
+    range_width = draw(st.integers(min_value=1, max_value=64))
+    table = RoutingTable(num_shards, range_width)
+    for lo, hi, target in draw(
+        routing_moves(num_shards, max_moves=max_moves, max_doc=max_doc)
+    ):
+        table = table.with_move(lo, hi, target)
+    return table

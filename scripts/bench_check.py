@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Compare the latest bench-history entries against a committed baseline.
+
+``repro.bench.history`` appends one schema-versioned JSON entry per run
+to ``benchmarks/history/BENCH_<name>.json``; this script is the other
+half of the loop: it reads each history file's newest entry, looks the
+bench up in ``benchmarks/history/baseline.json`` and fails (exit 1)
+when any metric regressed beyond ``--threshold`` in the direction the
+metric itself declares::
+
+    python scripts/bench_check.py                  # gate: exit 1 on regression
+    python scripts/bench_check.py --report-only    # CI on shared runners
+    python scripts/bench_check.py --update-baseline  # bless current numbers
+
+The baseline maps bench name to its metrics block (same shape history
+entries use)::
+
+    {"fig10": {"map_runtime_ms_15": {"value": 1.9, "unit": "ms",
+                                     "direction": "lower_is_better"}}}
+
+A ``lower_is_better`` metric regresses when
+``value > baseline * (1 + threshold)``; ``higher_is_better`` when
+``value < baseline * (1 - threshold)``.  A zero baseline (e.g. an
+``errors`` count) therefore flags *any* nonzero lower-is-better value
+-- exactly right for error counters.  Metrics present on only one side
+are reported but never fail the check, so adding a metric to a bench
+does not break the gate until the baseline is re-blessed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
+DEFAULT_THRESHOLD = 0.20
+
+DIRECTIONS = ("higher_is_better", "lower_is_better")
+
+
+def _load_json(path: pathlib.Path):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _latest_entries(history_dir: pathlib.Path) -> dict[str, dict]:
+    """Newest entry per bench name, keyed by name."""
+    latest: dict[str, dict] = {}
+    for path in sorted(history_dir.glob("BENCH_*.json")):
+        entries = _load_json(path)
+        if not isinstance(entries, list) or not entries:
+            print(f"warning: {path.name} holds no entries", file=sys.stderr)
+            continue
+        entry = entries[-1]
+        if not isinstance(entry, dict) or "metrics" not in entry:
+            print(f"warning: {path.name} latest entry is malformed",
+                  file=sys.stderr)
+            continue
+        name = entry.get("name") or path.stem[len("BENCH_"):]
+        latest[name] = entry
+    return latest
+
+
+def _is_regression(
+    direction: str, value: float, base: float, threshold: float
+) -> bool:
+    if direction == "lower_is_better":
+        return value > base * (1.0 + threshold)
+    return value < base * (1.0 - threshold)
+
+
+def check(
+    history_dir: pathlib.Path, baseline_path: pathlib.Path, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Returns (regressions, notes); empty regressions means pass."""
+    baseline = _load_json(baseline_path)
+    if not isinstance(baseline, dict):
+        return [f"baseline {baseline_path} missing or malformed"], []
+    latest = _latest_entries(history_dir)
+    regressions: list[str] = []
+    notes: list[str] = []
+    for name in sorted(set(baseline) | set(latest)):
+        base_metrics = baseline.get(name)
+        entry = latest.get(name)
+        if entry is None:
+            notes.append(f"{name}: in baseline but no history entry")
+            continue
+        if base_metrics is None:
+            notes.append(f"{name}: history entry but no baseline (new bench?)")
+            continue
+        metrics = entry.get("metrics", {})
+        rev = entry.get("git_rev", "?")
+        for key in sorted(set(base_metrics) | set(metrics)):
+            base = base_metrics.get(key)
+            current = metrics.get(key)
+            if current is None:
+                notes.append(f"{name}.{key}: in baseline, missing from run")
+                continue
+            if base is None:
+                notes.append(f"{name}.{key}: new metric, not in baseline")
+                continue
+            direction = current.get("direction", base.get("direction"))
+            if direction not in DIRECTIONS:
+                regressions.append(
+                    f"{name}.{key}: unknown direction {direction!r}"
+                )
+                continue
+            value, base_value = current.get("value"), base.get("value")
+            if not isinstance(value, (int, float)) or not isinstance(
+                base_value, (int, float)
+            ):
+                regressions.append(f"{name}.{key}: non-numeric value")
+                continue
+            arrow = "<" if direction == "higher_is_better" else ">"
+            line = (
+                f"{name}.{key} ({rev}): {value:g} {arrow} baseline "
+                f"{base_value:g} {current.get('unit', '')} "
+                f"(threshold {threshold:.0%})"
+            )
+            if _is_regression(direction, value, base_value, threshold):
+                regressions.append(line)
+            else:
+                notes.append(
+                    f"ok {name}.{key}: {value:g} vs baseline {base_value:g}"
+                )
+    return regressions, notes
+
+
+def update_baseline(
+    history_dir: pathlib.Path, baseline_path: pathlib.Path
+) -> int:
+    latest = _latest_entries(history_dir)
+    if not latest:
+        print(f"error: no BENCH_*.json under {history_dir}", file=sys.stderr)
+        return 1
+    blessed = {
+        name: entry.get("metrics", {}) for name, entry in sorted(latest.items())
+    }
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(
+        json.dumps(blessed, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"baseline updated from {len(blessed)} bench(es): {baseline_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history-dir", type=pathlib.Path,
+                        default=DEFAULT_HISTORY_DIR)
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="default: <history-dir>/baseline.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative drift (0.20 = 20%%)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but always exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="bless the latest history entries as baseline")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print every passing metric")
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+    baseline_path = args.baseline or args.history_dir / "baseline.json"
+    if args.update_baseline:
+        return update_baseline(args.history_dir, baseline_path)
+    regressions, notes = check(args.history_dir, baseline_path, args.threshold)
+    for note in notes:
+        if args.verbose or not note.startswith("ok "):
+            print(note)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        if args.report_only:
+            print("(--report-only: exiting 0)")
+            return 0
+        return 1
+    print("bench check: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,11 +5,15 @@ Starts a real service (ephemeral port), ingests a tiny corpus, then:
 
 1. runs a traced ``/search`` (``"trace": true``) and checks the
    response carries ``X-Trace-Id`` plus an inline span tree with the
-   expected legs (handler, plan, engine scan);
+   expected legs (handler, plan, engine scan) and engine work counters
+   on the ``engine_scan`` span;
 2. re-fetches the same trace from the ring via ``GET /traces/<id>``;
 3. scrapes ``GET /metrics`` and validates it is well-formed Prometheus
    text exposition (content type, line grammar, HELP/TYPE pairing,
-   cumulative histogram buckets).
+   cumulative histogram buckets) carrying every
+   ``staccato_engine_*_total`` counter;
+4. pulls the sampling profiler's aggregate from ``GET /profile`` in
+   both JSON and collapsed-stack form.
 
 Exits non-zero on the first violation.
 
@@ -24,6 +28,7 @@ import sys
 import tempfile
 import urllib.request
 
+from repro import counters
 from repro.bench.service_load import get_json, post_json
 from repro.ocr.corpus import make_ca
 from repro.service import start_service
@@ -43,6 +48,16 @@ def span_names(tree: dict) -> set[str]:
     for child in tree.get("children", ()):
         names |= span_names(child)
     return names
+
+
+def find_span(tree: dict, name: str) -> dict | None:
+    if tree["name"] == name:
+        return tree
+    for child in tree.get("children", ()):
+        found = find_span(child, name)
+        if found is not None:
+            return found
+    return None
 
 
 def check_prometheus(text: str) -> None:
@@ -67,11 +82,19 @@ def check_prometheus(text: str) -> None:
         fail(f"histogram buckets missing or not cumulative: {counts}")
     if "staccato_uptime_seconds" not in text:
         fail("staccato_uptime_seconds gauge missing")
+    engine = dict(
+        re.findall(r"^staccato_engine_(\w+)_total (\d+)$", text, flags=re.M)
+    )
+    if set(engine) != set(counters.COUNTER_NAMES):
+        fail(f"engine counter families wrong: {sorted(engine)}")
+    if int(engine["lines_scanned"]) <= 0 or int(engine["dp_cells"]) <= 0:
+        fail(f"engine counters did not move: {engine}")
 
 
 def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
-        running = start_service(f"{tmp}/smoke.db", k=4, m=6)
+        running = start_service(f"{tmp}/smoke.db", k=4, m=6,
+                                profile_hz=25.0)
         try:
             corpus = make_ca(num_docs=2, lines_per_doc=3, seed=1)
             status, _ = post_json(
@@ -112,6 +135,10 @@ def main() -> int:
             for expected in ("search", "handler", "plan", "engine_scan"):
                 if expected not in names:
                     fail(f"span {expected!r} missing from trace: {names}")
+            scan = find_span(tree, "engine_scan")
+            span_counters = (scan.get("attrs") or {}).get("counters")
+            if not span_counters or span_counters.get("lines_scanned", 0) <= 0:
+                fail(f"engine_scan span lacks work counters: {scan}")
 
             # 2. The same trace is in the ring.
             status, record = get_json(running.base_url, f"/traces/{trace_id}")
@@ -127,9 +154,27 @@ def main() -> int:
             if not content_type.startswith("text/plain; version=0.0.4"):
                 fail(f"unexpected /metrics content type: {content_type}")
             check_prometheus(text)
+
+            # 4. The sampling profiler answers in both formats.
+            status, profile = get_json(running.base_url, "/profile")
+            if status != 200 or not profile.get("enabled"):
+                fail(f"GET /profile answered {status}: {profile}")
+            if profile["hz"] != 25.0 or "top_self" not in profile:
+                fail(f"unexpected /profile aggregate: {profile}")
+            with urllib.request.urlopen(
+                running.base_url + "/profile?format=collapsed", timeout=30
+            ) as response:
+                collapsed_type = response.headers.get("Content-Type", "")
+                collapsed = response.read().decode("utf-8")
+            if not collapsed_type.startswith("text/plain"):
+                fail(f"collapsed profile content type: {collapsed_type}")
+            for line in collapsed.splitlines():
+                if not re.fullmatch(r"\S.*? \d+", line):
+                    fail(f"malformed collapsed stack line: {line!r}")
         finally:
             running.stop()
-    print("observability smoke: traced search + ring fetch + /metrics OK")
+    print("observability smoke: traced search + ring fetch + /metrics "
+          "+ /profile OK")
     return 0
 
 

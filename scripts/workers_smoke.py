@@ -5,8 +5,9 @@ Boots the real CLI (``python -m repro serve --shards 2 --shard-dir ...
 --worker-procs``) on an ephemeral port, then:
 
 1. ingests a tiny corpus and runs a traced ``/search`` whose span tree
-   crosses the process boundary (the router's ``shard_leg`` spans carry
-   the worker-side trees as annotations);
+   is stitched across the process boundary (the router's ``shard_leg``
+   spans carry the workers' echoed subtrees as remote children, down to
+   ``engine_scan`` work counters);
 2. SIGKILLs one worker (pid taken from the ``GET /health`` worker
    census) and verifies the supervisor respawns it -- ``/health``
    returns to ``ok`` with a fresh pid and ``/metrics`` counts a
@@ -117,8 +118,9 @@ def main() -> int:
             if status != 200:
                 fail(f"ingest answered {status}: {reply}")
 
-            # 1. Traced search: the span tree crosses the process
-            # boundary (shard_leg spans annotated with worker trees).
+            # 1. Traced search: the span tree is stitched across the
+            # process boundary (each shard_leg carries the worker's
+            # echoed subtree grafted as a remote child).
             request = urllib.request.Request(
                 base_url + "/search",
                 data=json.dumps(
@@ -140,10 +142,23 @@ def main() -> int:
             ]
             if not legs:
                 fail("no shard_leg spans in the routed trace")
-            if not any(
-                (node.get("attrs") or {}).get("worker") for node in legs
-            ):
+            remote_roots = [
+                child
+                for leg in legs
+                for child in leg.get("children", ())
+                if (child.get("attrs") or {}).get("remote") is True
+            ]
+            if not remote_roots:
                 fail("no worker-side span tree crossed the boundary")
+            if not any(
+                (node.get("attrs") or {}).get("counters", {}).get(
+                    "lines_scanned", 0
+                ) > 0
+                for root in remote_roots
+                for node in span_nodes(root)
+                if node.get("name") == "engine_scan"
+            ):
+                fail("stitched worker subtree lacks engine_scan counters")
 
             # 2. Kill one worker; the supervisor must bring it back.
             victim = workers["0"]["pid"]

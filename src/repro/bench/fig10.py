@@ -1,0 +1,112 @@
+"""Figure-10 scaling bench as a CLI with machine-readable history.
+
+``benchmarks/test_fig10_scalability.py`` is the full (slow) pytest
+reproduction of the paper's filescan-vs-dataset-size experiment; this
+driver runs the same harness (:class:`~repro.bench.harness.CorpusBench`
+over ``make_scale`` corpora) in a configurable -- by default tiny --
+setting and appends a ``BENCH_fig10.json`` entry via
+:mod:`repro.bench.history`, so CI can track the approaches' filescan
+runtimes across commits without paying for the full sweep::
+
+    python -m repro.bench.fig10 --sizes 15 30 --repeats 2
+
+Each metric is the best-of-``--repeats`` evaluation runtime for one
+(approach, corpus size) point, e.g. ``staccato_runtime_ms_30``.  The
+minimum -- not the mean -- is recorded because evaluation is
+deterministic work and the minimum is the least noisy estimator of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from ..ocr.corpus import make_scale
+from ..ocr.engine import SimulatedOcrEngine
+from . import history
+from .harness import CorpusBench
+
+__all__ = ["APPROACHES", "PATTERN", "run_fig10", "main"]
+
+#: The paper's figure-10 query (four-digit years in Google-Books text).
+PATTERN = r"REGEX:19\d\d"
+
+#: (label, approach, search kwargs) -- the figure's ordering MAP <
+#: Staccato < FullSFA is what the runtimes should keep showing.
+APPROACHES = (
+    ("map", "map", {}),
+    ("staccato", "staccato", {"m": 10, "k": 25}),
+    ("fullsfa", "fullsfa", {}),
+)
+
+DEFAULT_SIZES = (15, 30)
+
+
+def run_fig10(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 2,
+    seed: int = 55,
+    workers: int = 2,
+) -> dict[str, dict]:
+    """Best-of-``repeats`` filescan runtimes; returns history metrics."""
+    metrics: dict[str, dict] = {}
+    for size in sizes:
+        bench = CorpusBench(make_scale(size), SimulatedOcrEngine(seed=seed),
+                            workers=workers)
+        for label, approach, kwargs in APPROACHES:
+            best = min(
+                bench.search(PATTERN, approach, **kwargs)[1]
+                for _ in range(max(1, repeats))
+            )
+            metrics[f"{label}_runtime_ms_{size}"] = history.metric(
+                best * 1e3, "ms", "lower_is_better"
+            )
+    return metrics
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.fig10",
+        description="figure-10 filescan scaling, recorded to bench history",
+    )
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=list(DEFAULT_SIZES),
+                        help="corpus sizes (make_scale lines)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="evaluations per point; the best is recorded")
+    parser.add_argument("--seed", type=int, default=55)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="construction process-pool width")
+    parser.add_argument(
+        "--history-dir",
+        default=history.DEFAULT_HISTORY_DIR,
+        help="append the BENCH_fig10.json entry here ('-' prints only)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1 or not args.sizes or min(args.sizes) < 1:
+        parser.error("--sizes and --repeats must be positive")
+    metrics = run_fig10(
+        sizes=args.sizes, repeats=args.repeats, seed=args.seed,
+        workers=args.workers,
+    )
+    for name in sorted(metrics):
+        entry = metrics[name]
+        print(f"{name}: {entry['value']:.2f} {entry['unit']}")
+    if args.history_dir != "-":
+        path = history.record_run(
+            "fig10",
+            metrics,
+            topology={
+                "sizes": list(args.sizes),
+                "repeats": args.repeats,
+                "seed": args.seed,
+                "pattern": PATTERN,
+            },
+            history_dir=args.history_dir,
+        )
+        print(f"bench history appended to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

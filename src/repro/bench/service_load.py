@@ -71,6 +71,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..service.metrics import percentile
+from . import history
 
 __all__ = [
     "LoadResult",
@@ -1076,7 +1077,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="report path ('-' prints only; default depends on --mode)",
     )
+    parser.add_argument(
+        "--history-dir",
+        default=history.DEFAULT_HISTORY_DIR,
+        help="append a machine-readable BENCH_<mode>.json entry here "
+             "('-' disables; see scripts/bench_check.py)",
+    )
     args = parser.parse_args(argv)
+    bench_metrics: dict[str, dict] = {}
     if args.mode == "backends":
         comparison = run_backend_comparison(
             docs=args.docs,
@@ -1094,6 +1102,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         text = f"{title}\n{comparison.report()}\n"
         out_default = "benchmarks/reports/service_backend_asyncio.txt"
         failed = not comparison.clean
+        for profile in comparison.profiles:
+            bench_metrics.update(
+                history.load_result_metrics(
+                    profile.fast_alone, f"{profile.backend}_alone_"
+                )
+            )
+            bench_metrics.update(
+                history.load_result_metrics(
+                    profile.fast_under_scans, f"{profile.backend}_scans_"
+                )
+            )
+        topology = {
+            "docs": args.docs,
+            "lines": args.lines,
+            "slow_inflight": args.slow_inflight,
+            "fast_requests": args.fast_requests,
+        }
     elif args.mode == "rebalance":
         demo = run_rebalance_demo(
             num_shards=args.shards,
@@ -1114,6 +1139,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         text = f"{title}\n{demo.report()}\n"
         out_default = "benchmarks/reports/service_rebalance_under_load.txt"
         failed = not demo.passed
+        for window, result in (
+            ("before", demo.before),
+            ("during", demo.during),
+            ("after", demo.after),
+        ):
+            bench_metrics.update(
+                history.load_result_metrics(result, f"{window}_")
+            )
+        topology = {
+            "shards": args.shards,
+            "backend": args.backend,
+            "docs": args.docs,
+            "lines": args.lines,
+        }
     elif args.mode == "failover":
         demo = run_failover_demo(
             num_shards=args.shards,
@@ -1134,6 +1173,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         text = f"{title}\n{demo.report()}\n"
         out_default = "benchmarks/reports/service_failover_kill_replica.txt"
         failed = not demo.zero_downtime
+        for window, result in (
+            ("before", demo.before),
+            ("during", demo.during),
+            ("after", demo.after),
+        ):
+            bench_metrics.update(
+                history.load_result_metrics(result, f"{window}_")
+            )
+        topology = {
+            "shards": args.shards,
+            "replicas": args.replicas,
+            "backend": args.backend,
+            "docs": args.docs,
+            "lines": args.lines,
+        }
     else:
         comparison = run_sharded_comparison(
             num_shards=args.shards,
@@ -1160,6 +1214,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             or comparison.sharded.errors
             or (comparison.workers is not None and comparison.workers.errors)
         )
+        legs = [("single", comparison.single), ("sharded", comparison.sharded)]
+        if comparison.workers is not None:
+            legs.append(("workers", comparison.workers))
+        for leg, result in legs:
+            bench_metrics.update(
+                history.load_result_metrics(result, f"{leg}_")
+            )
+        topology = {
+            "shards": args.shards,
+            "backend": args.backend,
+            "docs": args.docs,
+            "lines": args.lines,
+            "worker_procs": args.worker_procs,
+        }
     print(text, end="")
     out_arg = args.out if args.out is not None else out_default
     if out_arg != "-":
@@ -1167,6 +1235,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text)
         print(f"report written to {out}")
+    if args.history_dir != "-":
+        path = history.record_run(
+            f"service_{args.mode}",
+            bench_metrics,
+            topology=topology,
+            history_dir=args.history_dir,
+        )
+        print(f"bench history appended to {path}")
     return 1 if failed else 0
 
 

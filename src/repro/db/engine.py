@@ -24,6 +24,7 @@ import re
 import sqlite3
 from typing import Iterable
 
+from .. import counters
 from ..automata.trie import DictionaryTrie
 from ..indexing.anchors import anchor_for_query
 from ..indexing.inverted import build_kmap_postings, build_sfa_postings
@@ -215,34 +216,45 @@ class StaccatoDB:
         )
         answers = []
         with _span("engine_scan", approach=approach) as scan:
-            for data_key in keys:
-                try:
-                    prob = self._probability_with_query(
-                        query, approach, data_key
-                    )
-                    if prob <= 0.0:
+            # Collect the DP work done by this scan so the span can carry
+            # exact per-request counters; collect() re-folds them into the
+            # process aggregate on exit, so /metrics still sees everything.
+            with counters.collect() as counts:
+                for data_key in keys:
+                    try:
+                        prob = self._probability_with_query(
+                            query, approach, data_key
+                        )
+                        if prob <= 0.0:
+                            continue
+                        doc_id, line_no = storage.line_metadata(
+                            self.conn, data_key
+                        )
+                    except KeyError:
+                        # The line vanished between the key listing and its
+                        # evaluation -- a concurrent delete committed (e.g. a
+                        # rebalance moved it to another shard after copying it
+                        # there).  It is no longer part of this file's
+                        # relation; autocommit readers see each statement's
+                        # latest state.
                         continue
-                    doc_id, line_no = storage.line_metadata(
-                        self.conn, data_key
+                    answers.append(
+                        Answer(
+                            line_id=data_key,
+                            doc_id=doc_id,
+                            line_no=line_no,
+                            probability=prob,
+                        )
                     )
-                except KeyError:
-                    # The line vanished between the key listing and its
-                    # evaluation -- a concurrent delete committed (e.g. a
-                    # rebalance moved it to another shard after copying it
-                    # there).  It is no longer part of this file's
-                    # relation; autocommit readers see each statement's
-                    # latest state.
-                    continue
-                answers.append(
-                    Answer(
-                        line_id=data_key,
-                        doc_id=doc_id,
-                        line_no=line_no,
-                        probability=prob,
-                    )
+                counters.add(
+                    lines_scanned=len(keys), lines_matched=len(answers)
                 )
-            if scan is not None:
-                scan.annotate(lines=len(keys), matches=len(answers))
+                if scan is not None:
+                    scan.annotate(
+                        lines=len(keys),
+                        matches=len(answers),
+                        counters=dict(counts),
+                    )
         return rank_answers(answers, num_ans=num_ans)
 
     # ------------------------------------------------------------------
@@ -375,11 +387,16 @@ class StaccatoDB:
         with _span("engine_probe", approach=approach) as probe:
             anchor = anchor_for_query(like, self._trie)
             candidates = self.index_postings(anchor)
+            postings_total = sum(len(p) for p in candidates.values())
+            counters.add(
+                postings_probed=postings_total,
+                index_candidates=len(candidates),
+            )
             if probe is not None:
                 probe.annotate(
                     anchor=anchor,
                     candidates=len(candidates),
-                    postings=sum(len(p) for p in candidates.values()),
+                    postings=postings_total,
                 )
         if not candidates:
             return []
@@ -388,36 +405,43 @@ class StaccatoDB:
         with _span(
             "engine_eval", projected=approach == "staccato" and use_projection
         ) as ev:
-            for data_key, postings in candidates.items():
-                try:
-                    if approach == "staccato" and use_projection:
-                        graph = storage.load_staccato(self.conn, data_key)
-                        prob = projected_match_probability(
-                            graph, query, postings, window
+            with counters.collect() as counts:
+                for data_key, postings in candidates.items():
+                    try:
+                        if approach == "staccato" and use_projection:
+                            graph = storage.load_staccato(self.conn, data_key)
+                            prob = projected_match_probability(
+                                graph, query, postings, window
+                            )
+                        else:
+                            prob = self._probability_with_query(
+                                query, approach, data_key
+                            )
+                        if prob <= 0.0:
+                            continue
+                        doc_id, line_no = storage.line_metadata(
+                            self.conn, data_key
                         )
-                    else:
-                        prob = self._probability_with_query(
-                            query, approach, data_key
-                        )
-                    if prob <= 0.0:
+                    except KeyError:
+                        # Candidate deleted since the posting lookup (see the
+                        # filescan plan's identical guard).
                         continue
-                    doc_id, line_no = storage.line_metadata(
-                        self.conn, data_key
+                    answers.append(
+                        Answer(
+                            line_id=data_key,
+                            doc_id=doc_id,
+                            line_no=line_no,
+                            probability=prob,
+                        )
                     )
-                except KeyError:
-                    # Candidate deleted since the posting lookup (see the
-                    # filescan plan's identical guard).
-                    continue
-                answers.append(
-                    Answer(
-                        line_id=data_key,
-                        doc_id=doc_id,
-                        line_no=line_no,
-                        probability=prob,
-                    )
+                counters.add(
+                    lines_scanned=len(candidates),
+                    lines_matched=len(answers),
                 )
-            if ev is not None:
-                ev.annotate(matches=len(answers))
+                if ev is not None:
+                    ev.annotate(
+                        matches=len(answers), counters=dict(counts)
+                    )
         return rank_answers(answers, num_ans=num_ans)
 
     # ------------------------------------------------------------------

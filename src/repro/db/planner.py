@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import counters
 from ..indexing.anchors import anchor_for_query
 from .engine import StaccatoDB
 
@@ -46,6 +47,15 @@ def choose_plan(
     threshold: float = DEFAULT_SELECTIVITY_THRESHOLD,
 ) -> QueryPlan:
     """Pick the access path for ``like`` against the current index."""
+    plan = _choose_plan(db, like, threshold)
+    if plan.kind == "index":
+        counters.add(plan_index=1)
+    else:
+        counters.add(plan_scan=1)
+    return plan
+
+
+def _choose_plan(db: StaccatoDB, like: str, threshold: float) -> QueryPlan:
     if db._trie is None:
         return QueryPlan("scan", None, None, "no index built")
     anchor = anchor_for_query(like, db._trie)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from .. import counters
 from ..automata import dfa
 from ..automata.dfa import Dfa
 from ..sfa.model import Sfa
@@ -69,6 +70,8 @@ def projected_match_probability(
     forward = forward_mass(sfa)
     backward = backward_mass(sfa)
     matched = 0.0
+    cells = 0
+    transitions = 0
     masses: dict[int, dict[int, float]] = {node: {} for node in allowed}
     for entry in entries:
         if forward[entry] > 0.0:
@@ -81,11 +84,13 @@ def projected_match_probability(
         dist = masses[node]
         if not dist:
             continue
+        cells += len(dist)
         for succ in set(sfa.successors(node)):
             if succ not in allowed:
                 continue
             succ_dist = masses[succ]
             for emission in sfa.emissions(node, succ):
+                transitions += len(dist)
                 for state, mass in dist.items():
                     nxt = query.step_string(state, emission.string)
                     if nxt == dfa.DEAD:
@@ -95,4 +100,5 @@ def projected_match_probability(
                         matched += weight * backward[succ]
                     else:
                         succ_dist[nxt] = succ_dist.get(nxt, 0.0) + weight
+    counters.add(dp_cells=cells, dp_transitions=transitions)
     return min(matched, 1.0)

@@ -19,6 +19,7 @@ precomputed backward masses instead of dragging it through the DP.
 
 from __future__ import annotations
 
+from .. import counters
 from ..automata import dfa
 from ..automata.dfa import Dfa
 from ..sfa.model import Sfa
@@ -45,21 +46,28 @@ def match_probability_exact(sfa: Sfa, query: Dfa) -> float:
 
 
 def _match_probability_general(sfa: Sfa, query: Dfa) -> float:
+    # The counters accumulate in plain locals; one counters.add() flush
+    # per evaluation keeps the instrumented inner loop allocation-free.
+    cells = 0
+    transitions = 0
     masses: dict[int, dict[int, float]] = {node: {} for node in sfa.nodes}
     masses[sfa.start][query.start] = 1.0
     for node in topological_order(sfa):
         dist = masses[node]
         if not dist:
             continue
+        cells += len(dist)
         for succ in set(sfa.successors(node)):
             succ_dist = masses[succ]
             for emission in sfa.emissions(node, succ):
+                transitions += len(dist)
                 for state, mass in dist.items():
                     nxt = query.step_string(state, emission.string)
                     if nxt == dfa.DEAD:
                         continue
                     weight = mass * emission.prob
                     succ_dist[nxt] = succ_dist.get(nxt, 0.0) + weight
+    counters.add(dp_cells=cells, dp_transitions=transitions)
     return sum(
         mass
         for state, mass in masses[sfa.final].items()
@@ -72,6 +80,8 @@ def _match_probability_absorbing(sfa: Sfa, query: Dfa) -> float:
     masses the moment the absorbing accept state is reached."""
     backward = backward_mass(sfa)
     matched = 0.0
+    cells = 0
+    transitions = 0
     masses: dict[int, dict[int, float]] = {node: {} for node in sfa.nodes}
     start_state = query.start
     if query.is_accepting(start_state):
@@ -82,9 +92,11 @@ def _match_probability_absorbing(sfa: Sfa, query: Dfa) -> float:
         dist = masses[node]
         if not dist:
             continue
+        cells += len(dist)
         for succ in set(sfa.successors(node)):
             succ_dist = masses[succ]
             for emission in sfa.emissions(node, succ):
+                transitions += len(dist)
                 for state, mass in dist.items():
                     nxt = query.step_string(state, emission.string)
                     weight = mass * emission.prob
@@ -92,4 +104,5 @@ def _match_probability_absorbing(sfa: Sfa, query: Dfa) -> float:
                         matched += weight * backward[succ]
                     else:
                         succ_dist[nxt] = succ_dist.get(nxt, 0.0) + weight
+    counters.add(dp_cells=cells, dp_transitions=transitions)
     return matched

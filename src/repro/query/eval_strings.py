@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from .. import counters
 from ..automata.dfa import Dfa
 
 __all__ = ["match_probability_strings", "matching_strings"]
@@ -19,7 +20,14 @@ def match_probability_strings(
     strings: Iterable[tuple[str, float]], query: Dfa
 ) -> float:
     """Summed probability of the stored strings accepted by ``query``."""
-    return sum(prob for text, prob in strings if query.accepts(text))
+    total = 0.0
+    evaluated = 0
+    for text, prob in strings:
+        evaluated += 1
+        if query.accepts(text):
+            total += prob
+    counters.add(strings_evaluated=evaluated)
+    return total
 
 
 def matching_strings(

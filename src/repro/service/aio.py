@@ -260,6 +260,7 @@ class AsyncHTTPServer:
             root = tracer.begin_request(
                 routed.endpoint, method, target,
                 headers.get(trace.TRACE_HEADER.lower()),
+                parent_span_id=headers.get(trace.PARENT_SPAN_HEADER.lower()),
             )
         try:
             payload: object = None

@@ -34,6 +34,7 @@ from .cache import QueryCache, key_from_json, key_to_json
 from .jobs import Job, JobEngine, JobsApi, atomic_write_json
 from .metrics import ServiceMetrics
 from .pool import ConnectionPool
+from .profiler import SamplingProfiler
 from .trace import ObservabilityApi, Tracer
 from .validation import (
     ApiError,
@@ -167,6 +168,7 @@ class QueryService(JobsApi, ObservabilityApi):
         slow_query_ms: float | None = None,
         slow_log_path: str | None = None,
         access_log_path: str | None = None,
+        profile_hz: float = 0.0,
     ) -> None:
         if path == ":memory:":
             raise ValueError(
@@ -203,9 +205,12 @@ class QueryService(JobsApi, ObservabilityApi):
             metrics=self.metrics,
             tracer=self.tracer,
         )
+        self.profiler = SamplingProfiler(hz=profile_hz)
+        self.profiler.start()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self.profiler.stop()
         self.jobs.shutdown()
         self.pool.close()
         self._writer.close()

@@ -23,6 +23,7 @@ across backends because every payload is produced here.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 import urllib.parse
@@ -70,6 +71,7 @@ GET_ROUTES = {
     "/jobs": "jobs_list",
     "/metrics": "metrics_text",
     "/traces": "traces_list",
+    "/profile": "profile",
 }
 POST_ROUTES = {
     "/ingest": "ingest",
@@ -89,7 +91,7 @@ DELETE_ARG_ROUTES = {"/jobs/": "jobs_cancel"}
 
 #: Endpoints that receive the parsed query string (``?endpoint=search``)
 #: instead of a body or path argument.
-QUERY_ROUTES = {"traces_list"}
+QUERY_ROUTES = {"traces_list", "profile"}
 
 #: The Prometheus text exposition format ``GET /metrics`` serves.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -295,7 +297,7 @@ def decode_json(raw: bytes) -> object:
 #: Endpoints that observe the service rather than serve data: they are
 #: not traced themselves (a scrape loop or trace poll would otherwise
 #: fill the trace ring with its own requests).
-UNTRACED_ENDPOINTS = {"metrics_text", "traces_list", "traces_get"}
+UNTRACED_ENDPOINTS = {"metrics_text", "traces_list", "traces_get", "profile"}
 
 
 def dispatch(
@@ -313,18 +315,27 @@ def dispatch(
 
     A body containing ``"trace": true`` gets the request's own span
     tree (as recorded so far -- serialization still lies ahead) echoed
-    under ``"trace"`` in a successful response.
+    under ``"trace"`` in a successful response; a request that arrived
+    with an ``X-Parent-Span-Id`` header (a cross-process hop from the
+    worker router) gets the same echo unconditionally, so the caller
+    can graft this process's subtree into its own trace.  A body with
+    ``"profile": true`` echoes the sampling profiler's aggregate under
+    ``"profile"``.
     """
     try:
         method = getattr(service, routed.endpoint)
-        if routed.endpoint in QUERY_ROUTES:
-            result = method(query or {})
-        elif routed.with_body:
-            result = method(payload)
-        elif routed.arg is not None:
-            result = method(routed.arg)
-        else:
-            result = method()
+        profiler = getattr(service, "profiler", None)
+        with contextlib.ExitStack() as stack:
+            if profiler is not None and profiler.enabled:
+                stack.enter_context(profiler.tag(routed.endpoint))
+            if routed.endpoint in QUERY_ROUTES:
+                result = method(query or {})
+            elif routed.with_body:
+                result = method(payload)
+            elif routed.arg is not None:
+                result = method(routed.arg)
+            else:
+                result = method()
         if (
             isinstance(result, tuple)
             and len(result) == 2
@@ -333,13 +344,13 @@ def dispatch(
             status, result = result
         else:
             status = 200
-        if (
-            isinstance(payload, Mapping)
-            and payload.get("trace") is True
-            and isinstance(result, dict)
-        ):
+        if isinstance(result, dict):
+            want_trace = (
+                isinstance(payload, Mapping) and payload.get("trace") is True
+            )
             root = trace.current_root()
-            if root is not None:
+            stitching = root is not None and root.attrs.get("parent_span")
+            if root is not None and (want_trace or stitching):
                 # Copy before annotating: the handler may have returned
                 # a dict the result cache also holds.
                 result = dict(result)
@@ -347,6 +358,16 @@ def dispatch(
                     "trace_id": root.trace_id,
                     "spans": root.to_dict(),
                 }
+            if (
+                isinstance(payload, Mapping)
+                and payload.get("profile") is True
+            ):
+                result = dict(result)
+                result["profile"] = (
+                    profiler.snapshot()
+                    if profiler is not None
+                    else {"enabled": False, "hz": 0.0, "samples": 0}
+                )
         return status, result
     except ApiError as exc:
         return exc.status, exc.to_payload()

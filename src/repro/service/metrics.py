@@ -15,6 +15,8 @@ import threading
 import time
 from collections import deque
 
+from .. import counters as engine_counters
+
 __all__ = ["ServiceMetrics", "percentile", "PROMETHEUS_BUCKETS_MS"]
 
 #: Latency samples retained per endpoint.
@@ -227,6 +229,11 @@ class ServiceMetrics:
                 result["jobs"] = jobs
             if self._events:
                 result["events"] = dict(sorted(self._events.items()))
+            # Engine-work counters are process-global (the engine has no
+            # handle on a service instance), so every registry reports
+            # the same totals: exact per process, which is also exactly
+            # what each worker subprocess should report.
+            result["engine"] = engine_counters.global_snapshot()
             return result
 
     # ------------------------------------------------------------------
@@ -363,6 +370,14 @@ class ServiceMetrics:
                 self._job_latencies,
                 ("type",),
             )
+            engine = engine_counters.global_snapshot()
+            for name in sorted(engine):
+                out.append(
+                    f"# HELP {prefix}_engine_{name}_total "
+                    f"{engine_counters.COUNTER_NAMES[name]}"
+                )
+                out.append(f"# TYPE {prefix}_engine_{name}_total counter")
+                out.append(f"{prefix}_engine_{name}_total {engine[name]}")
             if self._events:
                 out.append(
                     f"# HELP {prefix}_events_total "

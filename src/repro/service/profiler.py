@@ -1,0 +1,194 @@
+"""A stdlib sampling profiler for the query service.
+
+Spans say where wall-clock time went per request; the profiler says
+where the *process* spends CPU across requests, at function granularity,
+without instrumenting anything: a daemon thread wakes ``hz`` times a
+second, walks every request thread's current Python frame stack via
+``sys._current_frames()``, and counts collapsed stacks (the
+``root;child;leaf`` text format Brendan Gregg's flamegraph tools and
+speedscope consume).
+
+Attribution works through a *tag registry*: the dispatch layer wraps
+every service call in :meth:`SamplingProfiler.tag`, which maps the
+handling thread's id to its endpoint for the duration of the request.
+Samples land under ``<endpoint>;frame;...``; threads not handling a
+request (executors parked in ``wait``, the supervisor, the sampler
+itself) are not sampled -- this is a *request* attribution tool, and
+skipping parked threads keeps the store small and the signal clean.
+
+Costs, by construction:
+
+* ``hz == 0`` (the default): no sampler thread exists; ``tag`` is one
+  dict write and delete per request.
+* sampling on: the request threads pay nothing extra -- the walk
+  happens on the sampler thread, and ``sys._current_frames()`` holds
+  the GIL only for the snapshot itself.
+
+The store is bounded (``max_stacks`` distinct collapsed stacks;
+overflow folds into a per-endpoint ``(other)`` bucket) so a long-lived
+server's memory stays flat.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["SamplingProfiler", "DEFAULT_MAX_STACKS", "DEFAULT_MAX_DEPTH"]
+
+#: Distinct collapsed stacks retained before folding into ``(other)``.
+DEFAULT_MAX_STACKS = 4096
+
+#: Frames kept per sample, leaf-most last (deep recursion is truncated
+#: at the root end, which is the uninteresting end for self-time).
+DEFAULT_MAX_DEPTH = 64
+
+#: Default listing size for ``/profile`` responses.
+_DEFAULT_TOP = 25
+
+
+class SamplingProfiler:
+    """Bounded collapsed-stack aggregation over ``sys._current_frames``."""
+
+    def __init__(
+        self,
+        hz: float = 0.0,
+        max_stacks: int = DEFAULT_MAX_STACKS,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        if hz < 0:
+            raise ValueError("hz must be >= 0")
+        self.hz = float(hz)
+        self.max_stacks = max_stacks
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        #: thread id -> endpoint label, while a request is in flight.
+        self._tags: dict[int, str] = {}
+        #: collapsed stack (tuple of frame labels) -> sample count.
+        self._stacks: dict[tuple[str, ...], int] = {}
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.hz > 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Start the sampler thread (a no-op when ``hz == 0``)."""
+        if not self.enabled or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="sampling-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        while not self._stop.wait(interval):
+            self.sample_once()
+
+    # -- attribution ---------------------------------------------------
+    @contextmanager
+    def tag(self, label: str) -> Iterator[None]:
+        """Attribute this thread's samples to ``label`` while inside."""
+        ident = threading.get_ident()
+        with self._lock:
+            previous = self._tags.get(ident)
+            self._tags[ident] = label
+        try:
+            yield
+        finally:
+            with self._lock:
+                if previous is None:
+                    self._tags.pop(ident, None)
+                else:
+                    self._tags[ident] = previous
+
+    # -- sampling ------------------------------------------------------
+    def sample_once(self) -> int:
+        """Walk every tagged thread's stack once; returns threads seen."""
+        frames = sys._current_frames()
+        with self._lock:
+            tags = dict(self._tags)
+        seen = 0
+        for ident, label in tags.items():
+            frame = frames.get(ident)
+            if frame is None:
+                continue
+            stack: list[str] = []
+            while frame is not None and len(stack) < self.max_depth:
+                code = frame.f_code
+                stack.append(f"{code.co_name} ({code.co_filename.rsplit('/', 1)[-1]}:{frame.f_lineno})")
+                frame = frame.f_back
+            stack.append(label)
+            key = tuple(reversed(stack))
+            with self._lock:
+                if key not in self._stacks and len(self._stacks) >= self.max_stacks:
+                    key = (label, "(other)")
+                self._stacks[key] = self._stacks.get(key, 0) + 1
+                self._samples += 1
+            seen += 1
+        return seen
+
+    # -- exposition ----------------------------------------------------
+    def snapshot(self, top: int | None = None) -> dict[str, Any]:
+        """The JSON ``/profile`` view: config, totals, top frames/stacks.
+
+        Self-time per frame is the number of samples in which that frame
+        was the leaf -- the standard flamegraph reading of a sample set.
+        """
+        top = top or _DEFAULT_TOP
+        with self._lock:
+            stacks = dict(self._stacks)
+            samples = self._samples
+        self_time: dict[str, int] = {}
+        by_endpoint: dict[str, int] = {}
+        for key, count in stacks.items():
+            leaf = key[-1]
+            self_time[leaf] = self_time.get(leaf, 0) + count
+            by_endpoint[key[0]] = by_endpoint.get(key[0], 0) + count
+        heaviest = sorted(
+            stacks.items(), key=lambda item: item[1], reverse=True
+        )[:top]
+        return {
+            "enabled": self.enabled,
+            "hz": self.hz,
+            "samples": samples,
+            "distinct_stacks": len(stacks),
+            "endpoints": dict(sorted(by_endpoint.items())),
+            "top_self": [
+                {"frame": frame, "samples": count}
+                for frame, count in sorted(
+                    self_time.items(),
+                    key=lambda item: item[1],
+                    reverse=True,
+                )[:top]
+            ],
+            "top_stacks": [
+                {"stack": ";".join(key), "samples": count}
+                for key, count in heaviest
+            ],
+        }
+
+    def render_collapsed(self, top: int | None = None) -> str:
+        """Collapsed-stack text (``frame;frame;... count`` per line)."""
+        with self._lock:
+            stacks = sorted(
+                self._stacks.items(), key=lambda item: item[1], reverse=True
+            )
+        if top is not None:
+            stacks = stacks[:top]
+        return "".join(
+            f"{';'.join(key)} {count}\n" for key, count in stacks
+        )

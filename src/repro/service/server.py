@@ -121,6 +121,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 method,
                 self.path,
                 self.headers.get(trace.TRACE_HEADER),
+                parent_span_id=self.headers.get(trace.PARENT_SPAN_HEADER),
             )
         try:
             payload: object = None

@@ -80,6 +80,7 @@ from .app import answer_row, check_pattern, index_fingerprint, run_search_plan
 from .cache import QueryCache, key_from_json, key_to_json
 from .jobs import Job, JobCancelled, JobEngine, JobsApi, atomic_write_json
 from .metrics import ServiceMetrics
+from .profiler import SamplingProfiler
 from .trace import ObservabilityApi, Tracer
 from .replicas import (
     DEFAULT_COOLDOWN_S,
@@ -577,6 +578,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         slow_query_ms: float | None = None,
         slow_log_path: str | None = None,
         access_log_path: str | None = None,
+        profile_hz: float = 0.0,
         paths: Sequence[str] | None = None,
         sidecar_dir: str | None = None,
     ) -> None:
@@ -672,9 +674,12 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
             metrics=self.metrics,
             tracer=self.tracer,
         )
+        self.profiler = SamplingProfiler(hz=profile_hz)
+        self.profiler.start()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self.profiler.stop()
         self.jobs.shutdown()
         self._executor.shutdown(wait=True)
         self._write_executor.shutdown(wait=True)

@@ -47,6 +47,7 @@ from .validation import ApiError
 
 __all__ = [
     "TRACE_HEADER",
+    "PARENT_SPAN_HEADER",
     "DEFAULT_TRACE_RING",
     "Span",
     "Tracer",
@@ -60,6 +61,13 @@ __all__ = [
 
 #: Request/response header carrying the trace id end to end.
 TRACE_HEADER = "X-Trace-Id"
+
+#: Request header naming the caller-side span a cross-process hop hangs
+#: under.  Its presence tells the receiving service that the caller
+#: wants the request's span subtree echoed back in the response
+#: envelope, so the caller can graft it into its own tree (see
+#: :meth:`Span.graft` and the worker router's ``_call_worker``).
+PARENT_SPAN_HEADER = "X-Parent-Span-Id"
 
 #: Finished traces retained by default.
 DEFAULT_TRACE_RING = 256
@@ -89,9 +97,11 @@ class Span:
         "trace_id",
         "error",
         "children",
+        "grafts",
         "duration_s",
         "_t0",
         "_token",
+        "_span_id",
     )
 
     def __init__(self, name: str, parent: "Span | None" = None, **attrs: Any):
@@ -101,13 +111,46 @@ class Span:
         self.trace_id: str | None = None
         self.error = False
         self.children: list[Span] = []
+        self.grafts: list[dict[str, Any]] = []
         self.duration_s: float | None = None
         self._t0 = time.perf_counter()
         self._token: contextvars.Token | None = None
+        self._span_id: str | None = None
+
+    @property
+    def span_id(self) -> str:
+        """A stable id for this span, minted on first use.
+
+        Only spans that cross a process boundary ever need one, so it
+        is lazy -- the common single-process span pays nothing.
+        """
+        if self._span_id is None:
+            self._span_id = _new_trace_id()
+        return self._span_id
 
     def annotate(self, **attrs: Any) -> None:
         """Attach key/value detail (postings fetched, plan label, ...)."""
         self.attrs.update(attrs)
+
+    def graft(self, subtree: Mapping[str, Any], **attrs: Any) -> None:
+        """Adopt a span subtree serialized by another process.
+
+        The subtree is the remote root's ``to_dict`` output, kept as-is
+        (its ``start_ms`` offsets are relative to the *remote* root --
+        two processes share no clock) and emitted among this span's
+        children at serialization time.  ``attrs`` annotate the remote
+        root (worker index, pid) and a ``remote`` marker distinguishes
+        grafted nodes from locally timed ones.  ``list.append`` is
+        atomic under the GIL, so concurrent fan-out legs may graft onto
+        a shared parent just like they append child spans.
+        """
+        node = dict(subtree)
+        node["attrs"] = {
+            **node.get("attrs", {}),
+            **attrs,
+            "remote": True,
+        }
+        self.grafts.append(node)
 
     def finish(self) -> None:
         if self.duration_s is None:
@@ -132,8 +175,10 @@ class Span:
             node["error"] = True
         if self.attrs:
             node["attrs"] = dict(self.attrs)
-        if self.children:
-            node["children"] = [c.to_dict(base) for c in self.children]
+        if self.children or self.grafts:
+            node["children"] = [
+                c.to_dict(base) for c in self.children
+            ] + list(self.grafts)
         return node
 
 
@@ -249,12 +294,22 @@ class Tracer:
         method: str,
         path: str,
         trace_id: str | None = None,
+        parent_span_id: str | None = None,
     ) -> Span | None:
-        """Open (and install) a request's root span; None when disabled."""
+        """Open (and install) a request's root span; None when disabled.
+
+        ``parent_span_id`` is the caller-side span named by the
+        ``X-Parent-Span-Id`` header on a cross-process hop; recording it
+        on the root both documents the parentage in this process's own
+        trace ring and asks the dispatch layer to echo the finished
+        subtree back to the caller for grafting.
+        """
         if not self.enabled:
             return None
         root = Span(endpoint, method=method, path=path)
         root.trace_id = trace_id or _new_trace_id()
+        if parent_span_id:
+            root.attrs["parent_span"] = parent_span_id
         root._token = _CURRENT.set(root)
         return root
 
@@ -353,14 +408,41 @@ def _query_flag(query: Mapping[str, str], key: str) -> bool | None:
     raise ApiError(400, f"{key!r} must be a boolean (true/false), got {raw!r}")
 
 
-def _query_number(query: Mapping[str, str], key: str) -> float | None:
+def _query_number(
+    query: Mapping[str, str], key: str, minimum: float | None = None
+) -> float | None:
     raw = query.get(key)
     if raw is None:
         return None
     try:
-        return float(raw)
+        value = float(raw)
     except ValueError:
         raise ApiError(400, f"{key!r} must be a number, got {raw!r}") from None
+    if value != value:  # NaN compares unequal to itself
+        raise ApiError(400, f"{key!r} must be a number, got {raw!r}")
+    if minimum is not None and value < minimum:
+        raise ApiError(
+            400, f"{key!r} must be >= {minimum:g}, got {raw!r}"
+        )
+    return value
+
+
+def _query_int(
+    query: Mapping[str, str], key: str, minimum: int | None = None
+) -> int | None:
+    """A strictly integral query parameter (``1.5`` is a 400, not 1)."""
+    raw = query.get(key)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ApiError(
+            400, f"{key!r} must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ApiError(400, f"{key!r} must be >= {minimum}, got {raw!r}")
+    return value
 
 
 class ObservabilityApi:
@@ -377,9 +459,9 @@ class ObservabilityApi:
     def traces_list(self, query: Mapping[str, str]):
         """Recent trace summaries, newest first, with optional filters."""
         endpoint = query.get("endpoint")
-        min_ms = _query_number(query, "min_ms")
+        min_ms = _query_number(query, "min_ms", minimum=0.0)
         error = _query_flag(query, "error")
-        limit = _query_number(query, "limit")
+        limit = _query_int(query, "limit", minimum=1)
         records = self.tracer.records()
         matched = []
         for record in reversed(records):
@@ -391,7 +473,7 @@ class ObservabilityApi:
                 continue
             matched.append({k: v for k, v in record.items() if k != "spans"})
         if limit is not None:
-            matched = matched[: max(0, int(limit))]
+            matched = matched[:limit]
         return {
             "enabled": self.tracer.enabled,
             "ring": self.tracer.ring_size,
@@ -418,3 +500,30 @@ class ObservabilityApi:
         return TextPayload(
             self.metrics.render_prometheus(), PROMETHEUS_CONTENT_TYPE
         )
+
+    def profile(self, query: Mapping[str, str]):
+        """The sampling profiler's aggregate (``GET /profile``).
+
+        Default is a JSON summary (top self-time frames plus the
+        heaviest collapsed stacks); ``?format=collapsed`` answers plain
+        collapsed-stack text that flamegraph tools consume directly.
+        ``?top=N`` bounds both listings.
+        """
+        from .http_common import TextPayload
+
+        profiler = getattr(self, "profiler", None)
+        if profiler is None:
+            raise ApiError(
+                404,
+                "this service has no profiler (start with --profile-hz N)",
+                "profiler_disabled",
+            )
+        fmt = query.get("format", "json")
+        if fmt not in ("json", "collapsed"):
+            raise ApiError(
+                400, f"'format' must be 'json' or 'collapsed', got {fmt!r}"
+            )
+        top = _query_int(query, "top", minimum=1)
+        if fmt == "collapsed":
+            return TextPayload(profiler.render_collapsed(top=top))
+        return profiler.snapshot(top=top)

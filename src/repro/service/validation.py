@@ -66,15 +66,23 @@ class ApiError(Exception):
     close_connection = False
 
     def __init__(
-        self, status: int, message: str, code: str = "bad_request"
+        self,
+        status: int,
+        message: str,
+        code: str = "bad_request",
+        hint: str | None = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.hint = hint
 
     def to_payload(self) -> dict[str, Any]:
-        return {"error": {"code": self.code, "message": self.message}}
+        error: dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.hint is not None:
+            error["hint"] = self.hint
+        return {"error": error}
 
 
 @dataclass(frozen=True, slots=True)

@@ -34,9 +34,11 @@ thin router that only validates, fans out over local HTTP, and merges:
   **per-request deadline** (a worker that does not answer in time is a
   503 ``deadline_exceeded``, with a matching trace span and metrics
   event) and optional **hedged reads** (a second attempt races a slow
-  first one).  Worker span trees cross the process boundary via the
-  ``"trace": true`` response annotation and are re-attached to the
-  router's own spans.
+  first one).  Traced legs propagate ``X-Trace-Id`` and
+  ``X-Parent-Span-Id`` over the hop; the worker serializes its span
+  subtree into the response envelope and the router grafts it under
+  the leg's span, so ``GET /traces/<id>`` shows one stitched tree
+  across processes.
 
 Failure contract: reads retry freely across worker restarts within
 their deadline (they are idempotent); an ingest leg is retried only
@@ -81,6 +83,7 @@ from .app import answer_row, check_pattern
 from .cache import QueryCache
 from .jobs import Job, JobCancelled, JobEngine, atomic_write_json
 from .metrics import ServiceMetrics
+from .profiler import SamplingProfiler
 from .replicas import DEFAULT_COOLDOWN_S, ReplicaUnavailable, ordered_locks
 from .shards import (
     DEFAULT_RANGE_WIDTH,
@@ -437,6 +440,7 @@ def run_worker(args: argparse.Namespace) -> int:
         index_approach=args.index_approach,
         replica_cooldown_s=args.replica_cooldown,
         trace_enabled=not args.no_trace,
+        profile_hz=args.profile_hz,
     )
     server = WorkerHTTPServer((args.host, args.port), service)
     stop = threading.Event()
@@ -505,6 +509,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replica-cooldown", type=float, default=DEFAULT_COOLDOWN_S
     )
     parser.add_argument("--no-trace", action="store_true")
+    parser.add_argument("--profile-hz", type=float, default=0.0)
     return parser
 
 
@@ -742,6 +747,7 @@ class WorkerHandle:
         body: bytes | None,
         timeout_s: float,
         conn: http.client.HTTPConnection | None = None,
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, object]:
         """One attempt on one connection; raises on transport failure."""
         pool = self._conns
@@ -754,10 +760,10 @@ class WorkerHandle:
             conn.sock.settimeout(timeout_s)
         else:
             conn.timeout = timeout_s
+        if headers is None:
+            headers = _JSON_HEADERS if body else {}
         try:
-            conn.request(
-                method, path, body=body, headers=_JSON_HEADERS if body else {}
-            )
+            conn.request(method, path, body=body, headers=dict(headers))
             response = conn.getresponse()
             data = response.read()
             will_close = response.will_close
@@ -784,6 +790,7 @@ class WorkerHandle:
         deadline: float,
         idempotent: bool,
         fresh: bool = False,
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, object]:
         """One request with deadline, readiness wait, and retry policy.
 
@@ -816,7 +823,7 @@ class WorkerHandle:
                 conn = pool.acquire()
             try:
                 return self._one_request(
-                    method, path, body, remaining, conn=conn
+                    method, path, body, remaining, conn=conn, headers=headers
                 )
             except (socket.timeout, TimeoutError) as exc:
                 raise WorkerDeadline(str(exc) or "socket timeout") from exc
@@ -987,6 +994,7 @@ class WorkerRouterService(ShardedQueryService):
         slow_query_ms: float | None = None,
         slow_log_path: str | None = None,
         access_log_path: str | None = None,
+        profile_hz: float = 0.0,
         deadline_s: float = DEFAULT_DEADLINE_S,
         write_deadline_s: float = DEFAULT_WRITE_DEADLINE_S,
         hedge_delay_s: float | None = DEFAULT_HEDGE_DELAY_S,
@@ -1050,6 +1058,8 @@ class WorkerRouterService(ShardedQueryService):
         self._worker_locks = [
             threading.Lock() for _ in range(num_shards)
         ]
+        self.profiler = SamplingProfiler(hz=profile_hz)
+        self.profiler.start()
         spawn_flags = [
             "--replicas", str(replicas),
             "--k", str(k),
@@ -1058,6 +1068,7 @@ class WorkerRouterService(ShardedQueryService):
             "--cache-size", str(cache_size),
             "--index-approach", index_approach,
             "--replica-cooldown", str(replica_cooldown_s),
+            "--profile-hz", str(profile_hz),
         ]
         if not trace_enabled:
             spawn_flags.append("--no-trace")
@@ -1071,6 +1082,7 @@ class WorkerRouterService(ShardedQueryService):
                 ready_timeout_s=worker_ready_timeout_s,
             )
         except Exception:
+            self.profiler.stop()
             self._executor.shutdown(wait=False)
             self._write_executor.shutdown(wait=False)
             self._hedge_executor.shutdown(wait=False)
@@ -1086,6 +1098,7 @@ class WorkerRouterService(ShardedQueryService):
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self.profiler.stop()
         self.jobs.shutdown()
         self._executor.shutdown(wait=True)
         self._write_executor.shutdown(wait=True)
@@ -1105,22 +1118,6 @@ class WorkerRouterService(ShardedQueryService):
 
     # ------------------------------------------------------------------
     # The one RPC path every leg goes through
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _mark_trace_echo(payload: object) -> None:
-        """Record on the root span that the client asked for the trace
-        echo, so fan-out legs (which only see their constructed RPC
-        bodies) know whether to request the worker's span tree."""
-        if isinstance(payload, Mapping) and payload.get("trace") is True:
-            root = trace.current_root()
-            if root is not None:
-                root.annotate(trace_echo=True)
-
-    @staticmethod
-    def _trace_echo_requested() -> bool:
-        root = trace.current_root()
-        return bool(root is not None and root.attrs.get("trace_echo"))
-
     # ------------------------------------------------------------------
     def _singleflight(self, key: tuple) -> threading.Event | None:
         """Coalesce identical concurrent cache misses onto one fan-out.
@@ -1167,6 +1164,14 @@ class WorkerRouterService(ShardedQueryService):
         ``deadline_exceeded`` contract with a matching trace span and
         metrics event; an unretryable connection failure maps to 503
         ``shard_unavailable``.
+
+        When the router request is traced, the leg propagates the trace
+        id plus this span's id over the hop (``X-Trace-Id`` /
+        ``X-Parent-Span-Id``); the worker answers with its own span
+        subtree in the response envelope, which is grafted under this
+        leg's span -- so ``GET /traces/<id>`` on the router shows one
+        stitched tree across processes.  Untraced requests send neither
+        header and the worker builds no tree at all.
         """
         if deadline is None:
             deadline = time.monotonic() + (
@@ -1174,27 +1179,24 @@ class WorkerRouterService(ShardedQueryService):
             )
         handle = self._workers.handle(index)
         span = trace.current_span()
-        # Only ask the worker for its span tree when the client asked
-        # for one: the worker-side build + serialize + parse costs real
-        # milliseconds per leg, which untraced requests must not pay.
-        want_trace = (
-            span is not None
-            and method == "POST"
-            and isinstance(body, Mapping)
-            and self._trace_echo_requested()
-        )
-        if want_trace:
-            body = {**body, "trace": True}
         raw = None if body is None else json.dumps(body).encode("utf-8")
+        headers: dict[str, str] | None = None
+        if span is not None:
+            headers = dict(_JSON_HEADERS) if raw else {}
+            root = trace.current_root()
+            if root is not None and root.trace_id:
+                headers[trace.TRACE_HEADER] = root.trace_id
+            headers[trace.PARENT_SPAN_HEADER] = span.span_id
         started = time.perf_counter()
         try:
             if hedge and idempotent and self.hedge_delay_s is not None:
                 status, payload = self._hedged_request(
-                    handle, method, path, raw, deadline
+                    handle, method, path, raw, deadline, headers=headers
                 )
             else:
                 status, payload = handle.request(
-                    method, path, raw, deadline=deadline, idempotent=idempotent
+                    method, path, raw, deadline=deadline,
+                    idempotent=idempotent, headers=headers,
                 )
         except WorkerDeadline as exc:
             self.metrics.event("deadline_exceeded")
@@ -1218,12 +1220,12 @@ class WorkerRouterService(ShardedQueryService):
                 f"shard {index} worker unavailable: {exc}",
                 code="shard_unavailable",
             ) from exc
-        if isinstance(payload, dict) and want_trace:
+        if isinstance(payload, dict) and "trace" in payload:
             worker_trace = payload.pop("trace", None)
-            if worker_trace and span is not None:
-                # The worker's span tree crosses the process boundary as
-                # a response annotation and lands in the router's trace.
-                span.annotate(worker=worker_trace)
+            if span is not None and isinstance(worker_trace, Mapping):
+                subtree = worker_trace.get("spans")
+                if isinstance(subtree, Mapping):
+                    span.graft(subtree, worker=index)
         if status >= 400:
             self.metrics.observe_shard(
                 index, endpoint, time.perf_counter() - started, error=True
@@ -1253,13 +1255,14 @@ class WorkerRouterService(ShardedQueryService):
         path: str,
         raw: bytes | None,
         deadline: float,
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, object]:
         """Race a second attempt against a slow first one; first answer
         wins.  Both attempts share the request deadline; the loser's
         connection is simply closed when it eventually finishes."""
         primary = self._hedge_executor.submit(
             handle.request, method, path, raw,
-            deadline=deadline, idempotent=True,
+            deadline=deadline, idempotent=True, headers=headers,
         )
         delay = min(self.hedge_delay_s, max(0.0, deadline - time.monotonic()))
         done, _ = wait([primary], timeout=delay)
@@ -1268,7 +1271,7 @@ class WorkerRouterService(ShardedQueryService):
         self.metrics.event("hedged_request")
         backup = self._hedge_executor.submit(
             handle.request, method, path, raw,
-            deadline=deadline, idempotent=True, fresh=True,
+            deadline=deadline, idempotent=True, fresh=True, headers=headers,
         )
         pending = {primary, backup}
         error: Exception | None = None
@@ -1404,7 +1407,6 @@ class WorkerRouterService(ShardedQueryService):
     # Reads
     # ------------------------------------------------------------------
     def search(self, payload: object) -> dict[str, object]:
-        self._mark_trace_echo(payload)
         with trace.span("validate"):
             request = validate_search(payload)
             scope = self._scope(request.shards)
@@ -1481,7 +1483,6 @@ class WorkerRouterService(ShardedQueryService):
         return {**result, "cached": False}
 
     def sql(self, payload: object) -> dict[str, object]:
-        self._mark_trace_echo(payload)
         with trace.span("validate"):
             request = validate_sql(payload)
             scope = self._scope(request.shards)
@@ -1569,12 +1570,7 @@ class WorkerRouterService(ShardedQueryService):
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def ingest(self, payload: object) -> dict[str, object]:
-        self._mark_trace_echo(payload)
-        return super().ingest(payload)
-
     def index(self, payload: object) -> dict[str, object]:
-        self._mark_trace_echo(payload)
         request = validate_index(payload)
         scope = self._scope(request.shards)
         started = time.perf_counter()
@@ -1620,7 +1616,6 @@ class WorkerRouterService(ShardedQueryService):
         }
 
     def replicas(self, payload: object) -> dict[str, object]:
-        self._mark_trace_echo(payload)
         request = validate_replicas(payload)
         if request.shard >= self.num_shards:
             raise ApiError(
@@ -1881,6 +1876,19 @@ class WorkerRouterService(ShardedQueryService):
             block = blocks[0] if isinstance(blocks, list) and blocks else {}
             for field in ("pool", "replicas", "lines", "storage_bytes"):
                 entry[field] = self._reindex_labels(block.get(field), index)
+            # Engine-work counters are per *process*: the worker's DP and
+            # probe work shows up in its own /stats (requests.engine),
+            # which the router surfaces per shard here.
+            requests_block = (
+                worker_stats.get("requests")
+                if isinstance(worker_stats, dict)
+                else None
+            )
+            entry["engine"] = (
+                requests_block.get("engine")
+                if isinstance(requests_block, dict)
+                else None
+            )
             shard_stats.append(entry)
         return {
             "db": {
@@ -1900,6 +1908,45 @@ class WorkerRouterService(ShardedQueryService):
             "workers": self._workers.describe(),
             "uptime_s": self.metrics.uptime_s,
         }
+
+    def traces_get(self, trace_id: str):
+        """One span tree by id, looking through to the workers.
+
+        Requests the router handled live in its own ring (stitched, so
+        worker subtrees are already inside).  A trace id minted *by a
+        worker* -- e.g. read off a worker log line -- lives only in that
+        worker's ring, which is unreachable from outside the machine;
+        proxy the lookup so the router's ``/traces/<id>`` is a superset
+        of every process's ring.
+        """
+        record = self.tracer.get(trace_id)
+        if record is not None:
+            return record
+        deadline = time.monotonic() + self.deadline_s
+        probed: list[int] = []
+        for handle in self._workers.handles:
+            probed.append(handle.index)
+            try:
+                status, payload = handle.request(
+                    "GET",
+                    f"/traces/{trace_id}",
+                    deadline=deadline,
+                    idempotent=True,
+                )
+            except (WorkerDeadline, WorkerUnavailable):
+                continue
+            if status == 200 and isinstance(payload, dict):
+                return {**payload, "worker": handle.index}
+        raise ApiError(
+            404,
+            f"unknown trace {trace_id!r} (ring keeps the last "
+            f"{self.tracer.ring_size})",
+            "unknown_trace",
+            hint=(
+                "not in the router ring; shard workers "
+                f"{probed} were probed and do not hold it either"
+            ),
+        )
 
 
 if __name__ == "__main__":

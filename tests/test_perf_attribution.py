@@ -1,0 +1,745 @@
+"""Tests for the performance-attribution layer: engine work counters,
+the sampling profiler, cross-process trace stitching, and the
+machine-readable bench history with its regression checker.
+
+Unit tests cover the counter collector (context-local nesting, the
+process-global fold, exact totals under concurrent writers), the
+profiler's sampling/tagging/bounding, and the history schema.  The
+integration tests run live servers -- including the subprocess-worker
+topology -- and assert the wire surface: ``staccato_engine_*`` counter
+families on ``GET /metrics``, per-shard engine blocks on ``/stats``,
+``GET /profile``, strict ``GET /traces`` parameter validation, and the
+acceptance criterion of this layer: one coherent span tree across the
+router/worker process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import counters
+from repro.bench import history
+from repro.bench.fig10 import run_fig10
+from repro.bench.service_load import LoadResult, get_json, post_json
+from repro.ocr.corpus import make_ca
+from repro.service import (
+    BACKENDS,
+    start_service,
+    start_sharded_service,
+    start_worker_service,
+)
+from repro.service.profiler import SamplingProfiler
+from repro.service.trace import ObservabilityApi
+from repro.service.validation import ApiError
+
+from .test_observability import _batch_payload, _raw_get, _raw_post, find_spans
+
+K, M = 4, 6
+
+BENCH_CHECK = str(
+    Path(__file__).resolve().parent.parent / "scripts" / "bench_check.py"
+)
+
+
+# ----------------------------------------------------------------------
+# Engine counters: the collector primitives
+# ----------------------------------------------------------------------
+class TestCounterPrimitives:
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            counters.add(not_a_counter=1)
+
+    def test_add_outside_collect_goes_global(self):
+        counters.reset_global()
+        counters.add(dp_cells=3, lines_scanned=2)
+        snap = counters.global_snapshot()
+        assert snap["dp_cells"] == 3
+        assert snap["lines_scanned"] == 2
+
+    def test_collect_captures_locally_then_folds_global(self):
+        counters.reset_global()
+        with counters.collect() as outer:
+            counters.add(dp_cells=5)
+            with counters.collect() as inner:
+                counters.add(dp_cells=2, postings_probed=1)
+            # The inner collector saw only its own window...
+            assert inner == {"dp_cells": 2, "postings_probed": 1}
+        # ...and folded into the enclosing one on exit.
+        assert outer == {"dp_cells": 7, "postings_probed": 1}
+        # The whole tree folded into the process-global aggregate.
+        snap = counters.global_snapshot()
+        assert snap["dp_cells"] == 7
+        assert snap["postings_probed"] == 1
+
+    def test_evaluation_reports_dp_work(self):
+        from repro.ocr.engine import SimulatedOcrEngine
+        from repro.query.eval_sfa import match_probability
+        from repro.query.like import compile_like
+
+        sfa = SimulatedOcrEngine(seed=3).recognize_line(
+            "Public Law 101", line_seed=(1, 1)
+        )
+        with counters.collect() as counts:
+            match_probability(sfa, compile_like("%Law%"))
+        assert counts["dp_cells"] > 0
+        assert counts["dp_transitions"] > 0
+
+    def test_concurrent_writers_exact_global_totals(self):
+        counters.reset_global()
+        per_thread, threads = 500, 8
+
+        def write_loop() -> None:
+            for _ in range(per_thread):
+                counters.add(dp_cells=2, lines_scanned=1)
+
+        workers = [
+            threading.Thread(target=write_loop) for _ in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        snap = counters.global_snapshot()
+        assert snap["dp_cells"] == 2 * per_thread * threads
+        assert snap["lines_scanned"] == per_thread * threads
+
+
+# ----------------------------------------------------------------------
+# Live single-database servers (both front ends, profiler on)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=list(BACKENDS))
+def live(request, tmp_path_factory):
+    db_path = str(tmp_path_factory.mktemp("perf") / "ca.db")
+    running = start_service(
+        db_path,
+        k=K,
+        m=M,
+        pool_size=3,
+        cache_size=64,
+        backend=request.param,
+        profile_hz=50.0,
+    )
+    corpus = make_ca(num_docs=2, lines_per_doc=3, seed=1)
+    status, _ = post_json(running.base_url, "/ingest", _batch_payload(corpus))
+    assert status == 200
+    yield running
+    running.stop()
+
+
+PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+]?[0-9.eE+Inf]+$"
+)
+
+
+def _engine_totals(text: str) -> dict[str, int]:
+    return {
+        name: int(value)
+        for name, value in re.findall(
+            r"^staccato_engine_(\w+)_total (\d+)$", text, flags=re.M
+        )
+    }
+
+
+class TestEngineCountersOverHttp:
+    def test_prometheus_engine_families_grammar(self, live):
+        _raw_post(live.base_url, "/search", {"pattern": "%Law%"})
+        status, headers, raw = _raw_get(live.base_url, "/metrics")
+        assert status == 200
+        text = raw.decode("utf-8")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert PROM_LINE.match(line), line
+        totals = _engine_totals(text)
+        # Every declared counter is exposed, HELP'd and TYPE'd.
+        assert set(totals) == set(counters.COUNTER_NAMES)
+        for name in counters.COUNTER_NAMES:
+            assert f"# HELP staccato_engine_{name}_total " in text
+            assert f"# TYPE staccato_engine_{name}_total counter" in text
+        assert totals["dp_cells"] > 0
+        assert totals["lines_scanned"] > 0
+
+    def test_engine_counters_monotonic_across_scrapes(self, live):
+        _, _, raw = _raw_get(live.base_url, "/metrics")
+        before = _engine_totals(raw.decode("utf-8"))
+        for index in range(3):
+            # Distinct patterns so the result cache cannot absorb them.
+            status, _, _ = _raw_post(
+                live.base_url, "/search", {"pattern": f"%mono{index}%"}
+            )
+            assert status == 200
+        _, _, raw = _raw_get(live.base_url, "/metrics")
+        after = _engine_totals(raw.decode("utf-8"))
+        assert all(after[name] >= before[name] for name in before)
+        assert after["lines_scanned"] > before["lines_scanned"]
+        assert after["dp_cells"] > before["dp_cells"]
+
+    def test_stats_surfaces_engine_block(self, live):
+        status, body = get_json(live.base_url, "/stats")
+        assert status == 200
+        engine = body["requests"]["engine"]
+        assert set(engine) == set(counters.COUNTER_NAMES)
+        assert engine["dp_cells"] >= 0
+
+    def test_engine_scan_span_carries_counters(self, live):
+        status, _, body = _raw_post(
+            live.base_url,
+            "/search",
+            {"pattern": "%span counters%", "plan": "filescan", "trace": True},
+        )
+        assert status == 200
+        scans = find_spans(body["trace"]["spans"], "engine_scan")
+        assert scans
+        attrs = scans[0]["attrs"]
+        assert attrs["lines"] > 0
+        assert attrs["counters"]["dp_cells"] > 0
+        assert attrs["counters"]["lines_scanned"] == attrs["lines"]
+
+
+# ----------------------------------------------------------------------
+# GET /traces parameter validation (both backends via the live fixture)
+# ----------------------------------------------------------------------
+class TestTracesValidation:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            "limit=0",
+            "limit=-1",
+            "limit=1.5",
+            "limit=abc",
+            "min_ms=-1",
+            "min_ms=abc",
+            "min_ms=nan",
+        ],
+    )
+    def test_bad_parameters_are_400(self, live, params):
+        status, body = get_json(live.base_url, f"/traces?{params}")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_valid_parameters_still_serve(self, live):
+        _raw_post(live.base_url, "/search", {"pattern": "%Law%"})
+        status, body = get_json(live.base_url, "/traces?limit=1")
+        assert status == 200 and len(body["traces"]) == 1
+        status, body = get_json(live.base_url, "/traces?min_ms=1e12")
+        assert status == 200 and body["count"] == 0
+
+
+# ----------------------------------------------------------------------
+# The sampling profiler
+# ----------------------------------------------------------------------
+class TestProfilerUnit:
+    def test_disabled_profiler_has_no_thread(self):
+        profiler = SamplingProfiler(hz=0.0)
+        assert not profiler.enabled
+        profiler.start()
+        assert profiler._thread is None
+        snap = profiler.snapshot()
+        assert snap == {
+            "enabled": False,
+            "hz": 0.0,
+            "samples": 0,
+            "distinct_stacks": 0,
+            "endpoints": {},
+            "top_self": [],
+            "top_stacks": [],
+        }
+        profiler.stop()
+
+    def test_negative_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=-1.0)
+
+    def test_tagged_thread_is_sampled_with_label_first(self):
+        profiler = SamplingProfiler(hz=10.0)  # enabled; thread not started
+        with profiler.tag("search"):
+            seen = profiler.sample_once()
+        assert seen == 1
+        snap = profiler.snapshot()
+        assert snap["samples"] == 1
+        assert snap["endpoints"] == {"search": 1}
+        (entry,) = snap["top_stacks"]
+        assert entry["stack"].startswith("search;")
+        assert "sample_once" in entry["stack"]  # the leaf was this test
+        collapsed = profiler.render_collapsed()
+        assert collapsed.endswith(" 1\n")
+        assert collapsed.startswith("search;")
+
+    def test_untagged_threads_are_not_sampled(self):
+        profiler = SamplingProfiler(hz=10.0)
+        assert profiler.sample_once() == 0
+        assert profiler.snapshot()["samples"] == 0
+
+    def test_store_bound_folds_into_other(self):
+        profiler = SamplingProfiler(hz=10.0, max_stacks=1)
+
+        def distinct_stack(depth: int) -> None:
+            if depth > 0:
+                distinct_stack(depth - 1)
+            else:
+                profiler.sample_once()
+
+        with profiler.tag("search"):
+            for depth in range(4):
+                distinct_stack(depth)
+        snap = profiler.snapshot()
+        assert snap["samples"] == 4
+        assert snap["distinct_stacks"] <= 2  # first stack + the fold bucket
+        folded = [
+            e for e in snap["top_stacks"] if e["stack"] == "search;(other)"
+        ]
+        assert folded and folded[0]["samples"] == 3
+
+    def test_nested_tags_restore_previous_label(self):
+        profiler = SamplingProfiler(hz=10.0)
+        with profiler.tag("outer"):
+            with profiler.tag("inner"):
+                profiler.sample_once()
+            profiler.sample_once()
+        snap = profiler.snapshot()
+        assert snap["endpoints"] == {"inner": 1, "outer": 1}
+
+    def test_sampler_thread_collects_from_live_worker(self):
+        profiler = SamplingProfiler(hz=200.0)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            with profiler.tag("busy"):
+                while (
+                    profiler.snapshot()["samples"] == 0
+                    and time.monotonic() < deadline
+                ):
+                    sum(i * i for i in range(1000))
+            snap = profiler.snapshot()
+        finally:
+            profiler.stop()
+        assert snap["samples"] > 0
+        assert "busy" in snap["endpoints"]
+        assert profiler._thread is None  # stop() joined it
+
+    def test_overhead_guard_tag_path_within_budget(self):
+        # The dispatch-layer cost of profiling is one tag() enter/exit
+        # around the handler; with the sampler running the handler
+        # thread itself does no extra work.  Guard the p50 of a small
+        # fixed workload: profiling on must stay within 10% of off
+        # (plus an absolute epsilon for scheduler noise).
+        def workload() -> int:
+            return sum(i * i for i in range(3000))
+
+        def p50(profiler: SamplingProfiler | None) -> float:
+            times = []
+            for _ in range(80):
+                t0 = time.perf_counter()
+                if profiler is not None and profiler.enabled:
+                    with profiler.tag("search"):
+                        workload()
+                else:
+                    workload()
+                times.append(time.perf_counter() - t0)
+            times.sort()
+            return times[len(times) // 2]
+
+        p50(None)  # warm up the interpreter/allocator
+        off = p50(None)
+        profiler = SamplingProfiler(hz=50.0)
+        profiler.start()
+        try:
+            on = p50(profiler)
+        finally:
+            profiler.stop()
+        assert on <= off * 1.10 + 1e-4, (on, off)
+
+    def test_tracing_off_is_one_contextvar_read(self):
+        # The --no-trace fast path: begin_request returns None and the
+        # span() instrumentation point reduces to a context-var read
+        # that yields None -- no Span allocation anywhere.
+        from repro.service import trace as trace_mod
+        from repro.service.trace import Tracer
+
+        tracer = Tracer(enabled=False)
+        assert tracer.begin_request("search", "POST", "/search") is None
+        with trace_mod.span("anything") as node:
+            assert node is None
+
+
+class TestProfileEndpoint:
+    def test_profile_json_surface(self, live):
+        status, body = get_json(live.base_url, "/profile")
+        assert status == 200
+        assert body["enabled"] is True and body["hz"] == 50.0
+        for key in ("samples", "distinct_stacks", "endpoints", "top_self",
+                    "top_stacks"):
+            assert key in body
+
+    def test_profile_collapsed_is_plain_text(self, live):
+        status, headers, raw = _raw_get(
+            live.base_url, "/profile?format=collapsed&top=5"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        for line in raw.decode("utf-8").splitlines():
+            assert re.fullmatch(r".+ \d+", line), line
+
+    @pytest.mark.parametrize(
+        "params", ["format=flame", "top=0", "top=-3", "top=abc"]
+    )
+    def test_profile_bad_parameters_are_400(self, live, params):
+        status, body = get_json(live.base_url, f"/profile?{params}")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_profile_scrape_is_untraced(self, live):
+        get_json(live.base_url, "/profile")
+        status, body = get_json(live.base_url, "/traces?endpoint=profile")
+        assert status == 200 and body["count"] == 0
+
+    def test_inline_profile_echo(self, live):
+        status, _, body = _raw_post(
+            live.base_url, "/search", {"pattern": "%Law%", "profile": True}
+        )
+        assert status == 200
+        assert body["profile"]["enabled"] is True
+        assert body["profile"]["hz"] == 50.0
+
+    def test_missing_profiler_is_404(self):
+        class Bare(ObservabilityApi):
+            pass
+
+        with pytest.raises(ApiError) as info:
+            Bare().profile({})
+        assert info.value.status == 404
+        assert info.value.code == "profiler_disabled"
+
+
+# ----------------------------------------------------------------------
+# Cross-process trace stitching (the worker topology)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def worker_service(tmp_path_factory):
+    shard_dir = str(tmp_path_factory.mktemp("stitch") / "shards")
+    running = start_worker_service(
+        shard_dir,
+        2,
+        k=K,
+        m=M,
+        pool_size=2,
+        cache_size=0,
+        range_width=1,
+        trace_ring=1,  # tiny router ring: lets tests force proxy lookups
+    )
+    corpus = make_ca(num_docs=4, lines_per_doc=3, seed=1)
+    status, _ = post_json(running.base_url, "/ingest", _batch_payload(corpus))
+    assert status == 200
+    yield running
+    running.stop()
+
+
+def _remote_children(leg: dict) -> list[dict]:
+    return [
+        child
+        for child in leg.get("children", ())
+        if child.get("attrs", {}).get("remote") is True
+    ]
+
+
+def _router_legs(tree: dict) -> list[dict]:
+    """The router-level ``shard_leg`` spans only.
+
+    A worker is itself a one-shard sharded service, so its grafted
+    subtree contains its *own* (shard-local) ``shard_leg``; a blind
+    ``find_spans`` would count those too.  Depth-first order makes the
+    first ``router`` span the outer one; its direct children are the
+    fan-out legs.
+    """
+    router = find_spans(tree, "router")[0]
+    return [c for c in router["children"] if c["name"] == "shard_leg"]
+
+
+class TestCrossProcessStitching:
+    def test_stitched_tree_spans_both_processes(self, worker_service):
+        status, headers, body = _raw_post(
+            worker_service.base_url,
+            "/search",
+            {"pattern": "%Congress%", "plan": "filescan", "trace": True},
+        )
+        assert status == 200
+        tree = body["trace"]["spans"]
+        assert body["trace"]["trace_id"] == headers["X-Trace-Id"]
+        legs = _router_legs(tree)
+        assert sorted(leg["attrs"]["shard"] for leg in legs) == [0, 1]
+        for leg in legs:
+            remotes = _remote_children(leg)
+            assert remotes, f"shard {leg['attrs']['shard']} leg not stitched"
+            (worker_root,) = remotes
+            # The grafted subtree is the worker's own request root,
+            # labelled with which worker it came from and which caller
+            # span it hangs under.
+            assert worker_root["name"] == "search"
+            assert worker_root["attrs"]["worker"] == leg["attrs"]["shard"]
+            assert worker_root["attrs"]["parent_span"]
+            scans = find_spans(worker_root, "engine_scan")
+            assert scans, "worker subtree lost its engine spans"
+            attrs = scans[0]["attrs"]
+            assert attrs["counters"]["lines_scanned"] == attrs["lines"]
+            assert attrs["counters"]["dp_cells"] > 0
+
+    def test_ring_record_is_stitched_too(self, worker_service):
+        status, headers, _ = _raw_post(
+            worker_service.base_url,
+            "/search",
+            {"pattern": "%ring stitched%", "plan": "filescan"},
+        )
+        assert status == 200
+        status, record = get_json(
+            worker_service.base_url, f"/traces/{headers['X-Trace-Id']}"
+        )
+        assert status == 200
+        legs = _router_legs(record["spans"])
+        assert legs and all(_remote_children(leg) for leg in legs)
+
+    def test_worker_only_trace_is_proxied(self, worker_service):
+        status, headers, _ = _raw_post(
+            worker_service.base_url,
+            "/search",
+            {"pattern": "%proxy me%", "plan": "filescan"},
+        )
+        assert status == 200
+        trace_id = headers["X-Trace-Id"]
+        # Evict it from the router's one-deep ring; the workers keep
+        # their own records of the legs they served.
+        status, _, _ = _raw_get(worker_service.base_url, "/health")
+        assert status == 200
+        status, record = get_json(
+            worker_service.base_url, f"/traces/{trace_id}"
+        )
+        assert status == 200
+        assert record["worker"] in (0, 1)
+        assert record["trace_id"] == trace_id
+        # The proxied record is the worker's own view of the leg it
+        # served, whose root carries the router-side parent span id.
+        assert record["spans"]["attrs"]["parent_span"]
+
+    def test_unknown_trace_404_names_probed_workers(self, worker_service):
+        status, body = get_json(
+            worker_service.base_url, "/traces/ffffffffffffffff"
+        )
+        assert status == 404
+        error = body["error"]
+        assert error["code"] == "unknown_trace"
+        assert "[0, 1]" in error["hint"]
+
+    def test_router_stats_reindex_per_shard_engine_blocks(
+        self, worker_service
+    ):
+        status, _, _ = _raw_post(
+            worker_service.base_url,
+            "/search",
+            {"pattern": "%stats engines%", "plan": "filescan"},
+        )
+        assert status == 200
+        status, body = get_json(worker_service.base_url, "/stats")
+        assert status == 200
+        shards = body["shards"]
+        assert [entry["index"] for entry in shards] == [0, 1]
+        for entry in shards:
+            engine = entry["engine"]
+            assert set(engine) == set(counters.COUNTER_NAMES)
+            assert engine["lines_scanned"] > 0, entry["index"]
+        # The router's own block exists too (its process-global view --
+        # which in this test process includes earlier in-process work,
+        # so only its shape is asserted).
+        assert set(body["requests"]["engine"]) == set(counters.COUNTER_NAMES)
+
+    def test_untraced_request_sends_no_worker_headers(self, worker_service):
+        # A request with tracing off at the router (no root span on the
+        # hop) must not make workers build/echo subtrees; the response
+        # simply has no trace block.
+        status, _, body = _raw_post(
+            worker_service.base_url,
+            "/search",
+            {"pattern": "%no trace%", "plan": "filescan"},
+        )
+        assert status == 200
+        assert "trace" not in body
+
+
+# ----------------------------------------------------------------------
+# Bench history + regression checking
+# ----------------------------------------------------------------------
+class TestBenchHistory:
+    def test_record_run_schema_and_append(self, tmp_path):
+        metrics = {"p50_ms": history.metric(12.5, "ms")}
+        path = history.record_run(
+            "demo", metrics, topology={"shards": 2}, history_dir=tmp_path,
+            created_at="2026-08-08T00:00:00+00:00",
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        history.record_run("demo", metrics, history_dir=tmp_path)
+        entries = json.loads(path.read_text())
+        assert len(entries) == 2
+        entry = entries[0]
+        assert entry["schema"] == history.SCHEMA_VERSION
+        assert entry["name"] == "demo"
+        assert entry["created_at"] == "2026-08-08T00:00:00+00:00"
+        assert entry["topology"] == {"shards": 2}
+        assert entry["metrics"]["p50_ms"] == {
+            "value": 12.5, "unit": "ms", "direction": "lower_is_better"
+        }
+        assert isinstance(entry["git_rev"], str) and entry["git_rev"]
+        latest = history.latest_entry("demo", history_dir=tmp_path)
+        assert latest == entries[-1]
+
+    def test_history_is_bounded(self, tmp_path):
+        for index in range(5):
+            history.record_run(
+                "demo",
+                {"v": history.metric(index, "n")},
+                history_dir=tmp_path,
+                max_entries=3,
+            )
+        entries = json.loads((tmp_path / "BENCH_demo.json").read_text())
+        assert [e["metrics"]["v"]["value"] for e in entries] == [2.0, 3.0, 4.0]
+
+    def test_invalid_inputs_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            history.metric(1.0, "ms", direction="sideways")
+        with pytest.raises(ValueError):
+            history.record_run(
+                "bad/name", {"v": history.metric(1, "n")}, history_dir=tmp_path
+            )
+        with pytest.raises(ValueError):
+            history.record_run(
+                "demo", {"v": {"value": 1}}, history_dir=tmp_path
+            )
+
+    def test_load_result_metrics_directions(self):
+        result = LoadResult(
+            requests=10, errors=1, elapsed_s=1.0, throughput_rps=10.0,
+            latency_p50_ms=1.0, latency_p95_ms=2.0, latency_p99_ms=3.0,
+        )
+        metrics = history.load_result_metrics(result, "single_")
+        assert metrics["single_throughput_rps"]["direction"] == (
+            "higher_is_better"
+        )
+        assert metrics["single_latency_p99_ms"] == {
+            "value": 3.0, "unit": "ms", "direction": "lower_is_better"
+        }
+        assert metrics["single_errors"]["value"] == 1.0
+
+    def test_fig10_driver_emits_metrics(self, tmp_path):
+        metrics = run_fig10(sizes=[6], repeats=1, workers=1)
+        assert set(metrics) == {
+            "map_runtime_ms_6", "staccato_runtime_ms_6", "fullsfa_runtime_ms_6"
+        }
+        assert all(m["value"] > 0 for m in metrics.values())
+        path = history.record_run("fig10", metrics, history_dir=tmp_path)
+        assert json.loads(path.read_text())[0]["metrics"] == metrics
+
+
+def _write_check_fixture(
+    tmp_path, value: float, baseline_value: float, direction: str
+) -> Path:
+    hist = tmp_path / "history"
+    hist.mkdir(exist_ok=True)
+    entry = {
+        "schema": 1, "name": "demo", "created_at": "t", "git_rev": "abc",
+        "topology": {},
+        "metrics": {"m": {"value": value, "unit": "ms",
+                          "direction": direction}},
+    }
+    (hist / "BENCH_demo.json").write_text(json.dumps([entry]))
+    (hist / "baseline.json").write_text(json.dumps({
+        "demo": {"m": {"value": baseline_value, "unit": "ms",
+                       "direction": direction}},
+    }))
+    return hist
+
+
+def _bench_check(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, BENCH_CHECK, *argv], capture_output=True, text=True
+    )
+
+
+class TestBenchCheck:
+    def test_passes_on_baseline(self, tmp_path):
+        hist = _write_check_fixture(tmp_path, 100.0, 100.0, "lower_is_better")
+        proc = _bench_check("--history-dir", str(hist))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no regressions" in proc.stdout
+
+    def test_fails_on_injected_regression(self, tmp_path):
+        hist = _write_check_fixture(tmp_path, 150.0, 100.0, "lower_is_better")
+        proc = _bench_check("--history-dir", str(hist))
+        assert proc.returncode == 1
+        assert "REGRESSION demo.m" in proc.stdout
+
+    def test_direction_aware_higher_is_better(self, tmp_path):
+        # Throughput dropping 30% regresses; rising 30% never does.
+        hist = _write_check_fixture(tmp_path, 70.0, 100.0, "higher_is_better")
+        assert _bench_check("--history-dir", str(hist)).returncode == 1
+        hist = _write_check_fixture(tmp_path, 130.0, 100.0, "higher_is_better")
+        assert _bench_check("--history-dir", str(hist)).returncode == 0
+
+    def test_zero_baseline_flags_any_error(self, tmp_path):
+        hist = _write_check_fixture(tmp_path, 1.0, 0.0, "lower_is_better")
+        assert _bench_check("--history-dir", str(hist)).returncode == 1
+
+    def test_report_only_and_threshold(self, tmp_path):
+        hist = _write_check_fixture(tmp_path, 150.0, 100.0, "lower_is_better")
+        proc = _bench_check("--history-dir", str(hist), "--report-only")
+        assert proc.returncode == 0
+        assert "REGRESSION" in proc.stdout
+        proc = _bench_check("--history-dir", str(hist), "--threshold", "0.6")
+        assert proc.returncode == 0
+
+    def test_update_baseline_blesses_latest(self, tmp_path):
+        hist = _write_check_fixture(tmp_path, 150.0, 100.0, "lower_is_better")
+        proc = _bench_check("--history-dir", str(hist), "--update-baseline")
+        assert proc.returncode == 0
+        blessed = json.loads((hist / "baseline.json").read_text())
+        assert blessed["demo"]["m"]["value"] == 150.0
+        assert _bench_check("--history-dir", str(hist)).returncode == 0
+
+    def test_new_metric_is_noted_not_failed(self, tmp_path):
+        hist = _write_check_fixture(tmp_path, 100.0, 100.0, "lower_is_better")
+        baseline = json.loads((hist / "baseline.json").read_text())
+        del baseline["demo"]["m"]
+        baseline["demo"]["gone_ms"] = {
+            "value": 1.0, "unit": "ms", "direction": "lower_is_better"
+        }
+        (hist / "baseline.json").write_text(json.dumps(baseline))
+        proc = _bench_check("--history-dir", str(hist))
+        assert proc.returncode == 0
+        assert "new metric" in proc.stdout
+        assert "missing from run" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# The service_load CLI appends history entries
+# ----------------------------------------------------------------------
+class TestServiceLoadHistoryHook:
+    @pytest.mark.slow
+    def test_compare_mode_appends_history(self, tmp_path):
+        from repro.bench.service_load import main as service_load_main
+
+        code = service_load_main([
+            "--mode", "compare", "--repeats", "1", "--concurrency", "2",
+            "--out", "-", "--history-dir", str(tmp_path),
+        ])
+        assert code == 0
+        entry = history.latest_entry("service_compare", history_dir=tmp_path)
+        assert entry is not None
+        assert entry["topology"]["shards"] == 2
+        for leg in ("single", "sharded"):
+            assert entry["metrics"][f"{leg}_throughput_rps"]["value"] > 0
+            assert entry["metrics"][f"{leg}_errors"]["value"] == 0

@@ -669,6 +669,10 @@ def _raw_http(port: int, request: bytes) -> tuple[int, dict, bytes]:
 _VOLATILE_KEYS = {
     "elapsed_s", "uptime_s", "latency_ms", "journal", "created_at",
     "started_at", "finished_at", "id", "job_id", "path", "db", "bytes",
+    # Process-lifetime engine work counters: both backends run inside
+    # one pytest process, so the second service instance starts with
+    # whatever totals the first already accumulated.
+    "engine",
 }
 
 

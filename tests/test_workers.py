@@ -130,10 +130,12 @@ class TestRoutingTableProperties:
 # Topology equivalence
 # ----------------------------------------------------------------------
 #: Blocks that legitimately differ between the in-process router and the
-#: worker router: the worker census, per-instance request counters, and
+#: worker router: the worker census, per-instance request counters,
 #: connection-pool counters (the worker topology adds a second pool
-#: layer inside each worker process).
-_TOPOLOGY_ONLY_KEYS = {"workers", "requests", "checkouts", "served"}
+#: layer inside each worker process), and per-shard engine counters
+#: (only worker processes can attribute the process-global engine
+#: counters to one shard).
+_TOPOLOGY_ONLY_KEYS = {"workers", "requests", "checkouts", "served", "engine"}
 
 
 def _strip_topology(node):

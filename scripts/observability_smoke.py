@@ -8,10 +8,13 @@ Starts a real service (ephemeral port), ingests a tiny corpus, then:
    expected legs (handler, plan, engine scan) and engine work counters
    on the ``engine_scan`` span;
 2. re-fetches the same trace from the ring via ``GET /traces/<id>``;
-3. scrapes ``GET /metrics`` and validates it is well-formed Prometheus
-   text exposition (content type, line grammar, HELP/TYPE pairing,
+3. repeats the scan with a different ``NumAns`` -- a query-cache miss
+   that the cross-request kernel memo must serve -- then scrapes
+   ``GET /metrics`` and validates it is well-formed Prometheus text
+   exposition (content type, line grammar, HELP/TYPE pairing,
    cumulative histogram buckets) carrying every
-   ``staccato_engine_*_total`` counter;
+   ``staccato_engine_*_total`` counter, with the memo hit/miss
+   counters having moved;
 4. pulls the sampling profiler's aggregate from ``GET /profile`` in
    both JSON and collapsed-stack form.
 
@@ -89,6 +92,8 @@ def check_prometheus(text: str) -> None:
         fail(f"engine counter families wrong: {sorted(engine)}")
     if int(engine["lines_scanned"]) <= 0 or int(engine["dp_cells"]) <= 0:
         fail(f"engine counters did not move: {engine}")
+    if int(engine["memo_hits"]) <= 0 or int(engine["memo_misses"]) <= 0:
+        fail(f"kernel memo counters did not move: {engine}")
 
 
 def main() -> int:
@@ -144,6 +149,17 @@ def main() -> int:
             status, record = get_json(running.base_url, f"/traces/{trace_id}")
             if status != 200 or record["trace_id"] != trace_id:
                 fail(f"GET /traces/{trace_id} answered {status}")
+
+            # 2b. The same scan with a different NumAns misses the
+            # query cache but must be served by the kernel memo; the
+            # /metrics scrape below asserts the hit counter moved.
+            status, _ = post_json(
+                running.base_url,
+                "/search",
+                {"pattern": "%Congress%", "plan": "filescan", "num_ans": 2},
+            )
+            if status != 200:
+                fail(f"memo-warm search answered {status}")
 
             # 3. /metrics is valid Prometheus text.
             with urllib.request.urlopen(

@@ -205,6 +205,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.profile_hz < 0:
         print("error: --profile-hz must be >= 0", file=sys.stderr)
         return 2
+    if args.scan_procs is not None and args.scan_procs < 1:
+        print("error: --scan-procs must be >= 1", file=sys.stderr)
+        return 2
     serve_forever(
         args.db,
         host=args.host,
@@ -229,6 +232,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_log_path=args.slow_query_log,
         access_log_path=args.access_log,
         profile_hz=args.profile_hz,
+        scan_procs=args.scan_procs,
     )
     return 0
 
@@ -364,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-hz", type=float, default=0.0,
         help="sampling profiler frequency in samples/second "
              "(0 disables; results at GET /profile)",
+    )
+    serve.add_argument(
+        "--scan-procs", type=int, default=None, metavar="N",
+        help="spill filescans longer than the threshold across N "
+             "processes (unset or 1: scan in-process)",
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

@@ -55,6 +55,8 @@ COUNTER_NAMES: dict[str, str] = {
     "index_candidates": "Candidate lines produced by index probes.",
     "plan_index": "Planner decisions that chose the index probe.",
     "plan_scan": "Planner decisions that chose the filescan.",
+    "memo_hits": "Kernel evaluations served from the cross-request memo.",
+    "memo_misses": "Kernel evaluations that had to run the DP.",
 }
 
 _global_lock = threading.Lock()

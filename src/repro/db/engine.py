@@ -22,6 +22,7 @@ import glob
 import os
 import re
 import sqlite3
+from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable
 
 from .. import counters
@@ -33,9 +34,13 @@ from ..indexing.projection import projected_match_probability
 from ..ocr.corpus import Dataset
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer, rank_answers
+from ..query.eval_kernel import KernelEvaluator
 from ..query.eval_sfa import match_probability
 from ..query.eval_strings import match_probability_strings
 from ..query.like import compile_like
+from ..query.memo import KernelMemo, query_fingerprint
+from ..sfa.kernel import compile_kernel, kernel_from_bytes
+from ..sfa.model import SfaError
 from . import storage
 from .schema import create_schema
 
@@ -101,6 +106,31 @@ def discover_shard_paths(shard_dir: str) -> list[str]:
 #: few chunks beyond the anchor in the workloads we reproduce.
 DEFAULT_WINDOW = 24
 
+#: Filescans shorter than this stay in-process even with ``scan_procs``
+#: set: below it, per-task pickling outweighs the freed GIL time.
+DEFAULT_SCAN_SPILL_THRESHOLD = 64
+
+
+def _scan_worker(
+    args: tuple[str, int, int, str, str, list[int]]
+) -> tuple[dict[int, float], dict[str, int]]:
+    """One ``--scan-procs`` spill task: scan a key slice in a fresh process.
+
+    Opens its own connection (SQLite handles don't cross fork) and
+    returns the slice's probabilities plus the exact engine counters its
+    work produced, which the parent folds back in -- so a spilled scan
+    reports byte-identical counters to an in-process one.
+    """
+    path, k, m, pattern, approach, keys = args
+    db = StaccatoDB(path, k=k, m=m)
+    try:
+        query = compile_like(pattern)
+        with counters.collect() as counts:
+            probs = db._scan_probabilities(pattern, query, approach, keys)
+        return probs, dict(counts)
+    finally:
+        db.close()
+
 
 class StaccatoDB:
     """Probabilistic OCR data management on top of SQLite."""
@@ -113,6 +143,9 @@ class StaccatoDB:
         *,
         check_same_thread: bool = True,
         timeout: float = 30.0,
+        kernel_memo: KernelMemo | None = None,
+        scan_procs: int | None = None,
+        scan_spill_threshold: int = DEFAULT_SCAN_SPILL_THRESHOLD,
     ) -> None:
         self.path = path
         self.conn = sqlite3.connect(
@@ -122,11 +155,20 @@ class StaccatoDB:
         self.m = m
         self._trie: DictionaryTrie | None = None
         self._index_approach: str | None = None
+        #: Cross-request memo, shared across a pool's connections so any
+        #: reader benefits from any other reader's evaluations.
+        self.kernel_memo = kernel_memo
+        self.scan_procs = scan_procs
+        self.scan_spill_threshold = scan_spill_threshold
+        self._scan_pool: ProcessPoolExecutor | None = None
         create_schema(self.conn)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the underlying SQLite connection."""
+        if self._scan_pool is not None:
+            self._scan_pool.shutdown(wait=False, cancel_futures=True)
+            self._scan_pool = None
         self.conn.close()
 
     def __enter__(self) -> "StaccatoDB":
@@ -162,7 +204,7 @@ class StaccatoDB:
     ) -> int:
         """OCR and store ``dataset``; returns the number of lines."""
         ocr = ocr or SimulatedOcrEngine()
-        return storage.ingest_dataset(
+        count = storage.ingest_dataset(
             self.conn,
             dataset,
             ocr,
@@ -171,6 +213,11 @@ class StaccatoDB:
             approaches=approaches,
             workers=workers,
         )
+        if self.kernel_memo is not None:
+            # The shard's generation clock: entries computed against the
+            # pre-batch data cannot land after this (put is fenced).
+            self.kernel_memo.invalidate()
+        return count
 
     @property
     def num_lines(self) -> int:
@@ -200,6 +247,153 @@ class StaccatoDB:
             return match_probability(storage.load_staccato(self.conn, data_key), query)
         raise ValueError(f"unknown approach {approach!r}")
 
+    # ------------------------------------------------------------------
+    def _kernel_scan(
+        self, pattern: str, query, approach: str, keys: list[int]
+    ) -> dict[int, float]:
+        """Batched filescan DP over the compiled kernels of ``keys``.
+
+        Kernels come from the ``CompiledKernel`` table in one bulk read;
+        lines without a current-version row (old database files, or a
+        blob the codec rejects) are transparently recompiled from their
+        ``SFA1`` blobs.  The cross-request memo is probed per (kernel
+        fingerprint, query fingerprint) before any blob is even
+        deserialized; the remaining lines run through one batched
+        :class:`~repro.query.eval_kernel.KernelEvaluator` pass.
+
+        Counters stay exact: ``dp_cells``/``dp_transitions`` are summed
+        from the per-line results of the DP actually executed (memo hits
+        did no DP work and add nothing beyond ``memo_hits``), and the
+        batched totals equal the sum of per-line evaluations bit for
+        bit.
+        """
+        stored = storage.load_kernel_blobs(self.conn, approach)
+        memo = self.kernel_memo
+        query_fp = query_fingerprint(pattern) if memo is not None else None
+        generation = memo.generation if memo is not None else None
+        probs: dict[int, float] = {}
+        pending_keys: list[int] = []
+        pending_fps: list[str] = []
+        pending_kernels = []
+        hits = misses = 0
+        for data_key in keys:
+            row = stored.get(data_key)
+            kernel = None
+            if row is None:
+                kernel = self._recompile_kernel(approach, data_key)
+                if kernel is None:
+                    continue  # concurrent delete; not part of the relation
+                fingerprint = kernel.fingerprint
+            else:
+                fingerprint = row[0]
+            if memo is not None:
+                value = memo.get(fingerprint, query_fp)
+                if value is not None:
+                    hits += 1
+                    probs[data_key] = value[0]
+                    continue
+                misses += 1
+            if kernel is None:
+                try:
+                    kernel = kernel_from_bytes(row[1])
+                except SfaError:
+                    # Corrupt blob despite a matching version tag: fall
+                    # back to the SFA blob like a version mismatch.
+                    kernel = self._recompile_kernel(approach, data_key)
+                    if kernel is None:
+                        continue
+            pending_keys.append(data_key)
+            pending_fps.append(fingerprint)
+            pending_kernels.append(kernel)
+        cells = transitions = 0
+        if pending_kernels:
+            evaluator = KernelEvaluator(query)
+            for data_key, fingerprint, result in zip(
+                pending_keys,
+                pending_fps,
+                evaluator.evaluate_batch(pending_kernels),
+            ):
+                probs[data_key] = result.probability
+                cells += result.dp_cells
+                transitions += result.dp_transitions
+                if memo is not None:
+                    memo.put(
+                        fingerprint, query_fp, tuple(result), generation
+                    )
+        counters.add(
+            dp_cells=cells,
+            dp_transitions=transitions,
+            memo_hits=hits,
+            memo_misses=misses,
+        )
+        return probs
+
+    def _recompile_kernel(self, approach: str, data_key: int):
+        """Kernel fallback path: lower the stored ``SFA1`` blob now."""
+        load = (
+            storage.load_staccato
+            if approach == "staccato"
+            else storage.load_fullsfa
+        )
+        try:
+            return compile_kernel(load(self.conn, data_key))
+        except KeyError:
+            return None
+
+    def _scan_probabilities(
+        self, pattern: str, query, approach: str, keys: list[int]
+    ) -> dict[int, float]:
+        """Per-line match probabilities for a filescan over ``keys``.
+
+        Automaton approaches go through the batched kernel scan; the
+        string approaches (map/kmap) evaluate per line as before.  Lines
+        deleted concurrently are absent from the result.
+        """
+        if approach in ("staccato", "fullsfa"):
+            return self._kernel_scan(pattern, query, approach, keys)
+        probs: dict[int, float] = {}
+        for data_key in keys:
+            try:
+                probs[data_key] = self._probability_with_query(
+                    query, approach, data_key
+                )
+            except KeyError:
+                continue
+        return probs
+
+    def _spilled_scan(
+        self, pattern: str, approach: str, keys: list[int]
+    ) -> dict[int, float]:
+        """Route a long filescan through the process pool (``--scan-procs``).
+
+        Keys are split into contiguous slices, one per process; each
+        worker opens its own connection, scans its slice and ships back
+        (probabilities, counters).  Folding the counters here keeps the
+        parent's totals exactly equal to an in-process scan.
+        """
+        procs = self.scan_procs or 1
+        if self._scan_pool is None:
+            self._scan_pool = ProcessPoolExecutor(max_workers=procs)
+        step = (len(keys) + procs - 1) // procs
+        slices = [
+            keys[i : i + step] for i in range(0, len(keys), step)
+        ]
+        futures = [
+            self._scan_pool.submit(
+                _scan_worker,
+                (self.path, self.k, self.m, pattern, approach, part),
+            )
+            for part in slices
+            if part
+        ]
+        probs: dict[int, float] = {}
+        for future in futures:
+            part_probs, part_counts = future.result()
+            probs.update(part_probs)
+            if part_counts:
+                counters.add(**part_counts)
+        return probs
+
     def search(
         self,
         like: str,
@@ -214,19 +408,29 @@ class StaccatoDB:
             if data_keys is not None
             else storage.all_data_keys(self.conn)
         )
+        spill = (
+            self.scan_procs is not None
+            and self.scan_procs > 1
+            and len(keys) >= self.scan_spill_threshold
+            and self.path != ":memory:"
+        )
         answers = []
-        with _span("engine_scan", approach=approach) as scan:
+        with _span("engine_scan", approach=approach, spilled=spill) as scan:
             # Collect the DP work done by this scan so the span can carry
             # exact per-request counters; collect() re-folds them into the
             # process aggregate on exit, so /metrics still sees everything.
             with counters.collect() as counts:
+                if spill:
+                    probs = self._spilled_scan(like, approach, keys)
+                else:
+                    probs = self._scan_probabilities(
+                        like, query, approach, keys
+                    )
                 for data_key in keys:
+                    prob = probs.get(data_key)
+                    if prob is None or prob <= 0.0:
+                        continue
                     try:
-                        prob = self._probability_with_query(
-                            query, approach, data_key
-                        )
-                        if prob <= 0.0:
-                            continue
                         doc_id, line_no = storage.line_metadata(
                             self.conn, data_key
                         )

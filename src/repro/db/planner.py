@@ -14,6 +14,13 @@ so the probe wins when the anchor's selectivity is below roughly
 never when the posting list covers the corpus.  Selectivity comes from
 the index itself (a COUNT(DISTINCT) probe), mirroring how an RDBMS uses
 its statistics.
+
+Since the filescan moved to the compiled-kernel batch evaluator
+(:mod:`repro.query.eval_kernel`), ``c_line`` on the scan side is much
+smaller than on the probe side, whose candidates still evaluate line by
+line (the projected window DP).  The default threshold is deliberately
+conservative about that asymmetry: an anchor has to be genuinely
+selective before the probe's per-candidate cost beats the batched scan.
 """
 
 from __future__ import annotations
@@ -57,11 +64,14 @@ def choose_plan(
 
 def _choose_plan(db: StaccatoDB, like: str, threshold: float) -> QueryPlan:
     if db._trie is None:
-        return QueryPlan("scan", None, None, "no index built")
+        return QueryPlan("scan", None, None, "no index built; batched filescan")
     anchor = anchor_for_query(like, db._trie)
     if anchor is None:
         return QueryPlan(
-            "scan", None, None, "query is not left-anchored by a dictionary term"
+            "scan",
+            None,
+            None,
+            "query is not left-anchored by a dictionary term; batched filescan",
         )
     selectivity = db.index_selectivity(anchor)
     if selectivity > threshold:

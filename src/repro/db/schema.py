@@ -24,6 +24,7 @@ TABLES = [
     "FullSFAData",
     "StaccatoData",
     "StaccatoGraph",
+    "CompiledKernel",
     "GroundTruth",
     "InvertedIndex",
     "IndexMeta",
@@ -69,6 +70,19 @@ CREATE TABLE IF NOT EXISTS StaccatoData (
 CREATE TABLE IF NOT EXISTS StaccatoGraph (
     DataKey   INTEGER PRIMARY KEY REFERENCES MasterData(DataKey),
     GraphBlob BLOB NOT NULL
+);
+
+-- Compiled evaluation kernels (repro.sfa.kernel), one per line per
+-- automaton approach.  Version tags the blob layout; readers ignore
+-- rows from other versions and recompile from the SFA blob instead,
+-- so old database files keep working after a format bump.
+CREATE TABLE IF NOT EXISTS CompiledKernel (
+    DataKey     INTEGER NOT NULL REFERENCES MasterData(DataKey),
+    Approach    TEXT NOT NULL,
+    Version     INTEGER NOT NULL,
+    Fingerprint TEXT NOT NULL,
+    KernelBlob  BLOB NOT NULL,
+    PRIMARY KEY (DataKey, Approach)
 );
 
 CREATE TABLE IF NOT EXISTS GroundTruth (

@@ -24,6 +24,7 @@ from ..core.kmap import build_kmap
 from ..ocr.corpus import Dataset
 from ..ocr.engine import SimulatedOcrEngine
 from ..sfa import serialize
+from ..sfa.kernel import KERNEL_VERSION, compile_kernel
 from ..sfa.model import Sfa
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "load_fullsfa",
     "load_kmap",
     "load_staccato",
+    "load_kernel_blobs",
     "load_ground_truth",
     "all_data_keys",
     "line_metadata",
@@ -71,15 +73,33 @@ def _line_representations(
     fullsfa_row = (line_id, serialize.to_bytes(sfa)) if want_fullsfa else None
     staccato_rows = []
     graph_row = None
+    kernel_rows = []
+    if want_fullsfa:
+        kernel_rows.append(_kernel_row(line_id, "fullsfa", sfa))
     if want_staccato:
         chunked = staccato_approximate(sfa, m=m, k=k)
         graph_row = (line_id, serialize.to_bytes(chunked))
+        kernel_rows.append(_kernel_row(line_id, "staccato", chunked))
         for chunk_num, (u, v) in enumerate(sorted(chunked.edges)):
             staccato_rows.extend(
                 (line_id, chunk_num, rank, e.string, _log_prob(e.prob))
                 for rank, e in enumerate(chunked.emissions(u, v))
             )
-    return kmap_rows, fullsfa_row, staccato_rows, graph_row
+    return kmap_rows, fullsfa_row, staccato_rows, graph_row, kernel_rows
+
+
+def _kernel_row(
+    line_id: int, approach: str, sfa: Sfa
+) -> tuple[int, str, int, str, bytes]:
+    """One ``CompiledKernel`` insert: lower the SFA at construction time."""
+    kernel = compile_kernel(sfa)
+    return (
+        line_id,
+        approach,
+        KERNEL_VERSION,
+        kernel.fingerprint,
+        serialize.kernel_to_bytes(kernel),
+    )
 
 
 def ingest_dataset(
@@ -142,13 +162,15 @@ def ingest_dataset(
     fullsfa_rows = []
     staccato_rows = []
     graph_rows = []
-    for line_kmap, fullsfa_row, line_staccato, graph_row in built:
+    kernel_rows = []
+    for line_kmap, fullsfa_row, line_staccato, graph_row, line_kernels in built:
         kmap_rows.extend(line_kmap)
         if fullsfa_row is not None:
             fullsfa_rows.append(fullsfa_row)
         staccato_rows.extend(line_staccato)
         if graph_row is not None:
             graph_rows.append(graph_row)
+        kernel_rows.extend(line_kernels)
     with conn:
         conn.executemany(
             "INSERT OR REPLACE INTO Documents (DocId, DocName, Year, Loss) "
@@ -183,6 +205,13 @@ def ingest_dataset(
             conn.executemany(
                 "INSERT INTO StaccatoGraph (DataKey, GraphBlob) VALUES (?, ?)",
                 graph_rows,
+            )
+        if kernel_rows:
+            conn.executemany(
+                "INSERT INTO CompiledKernel "
+                "(DataKey, Approach, Version, Fingerprint, KernelBlob) "
+                "VALUES (?, ?, ?, ?, ?)",
+                kernel_rows,
             )
     return len(master_rows)
 
@@ -221,6 +250,25 @@ def load_staccato(conn: sqlite3.Connection, data_key: int) -> Sfa:
     if row is None:
         raise KeyError(f"no Staccato graph for DataKey {data_key}")
     return serialize.from_bytes(row[0])
+
+
+def load_kernel_blobs(
+    conn: sqlite3.Connection, approach: str
+) -> dict[int, tuple[str, bytes]]:
+    """Every stored compiled kernel of one approach, in one query.
+
+    Returns ``{DataKey: (fingerprint, blob)}`` for rows whose blob
+    version matches this build's :data:`~repro.sfa.kernel.KERNEL_VERSION`.
+    Rows from other versions -- or lines that predate the kernel table
+    entirely -- are simply absent; the scan path recompiles those lines
+    from their ``SFA1`` blobs, so old database files stay queryable.
+    """
+    rows = conn.execute(
+        "SELECT DataKey, Fingerprint, KernelBlob FROM CompiledKernel "
+        "WHERE Approach = ? AND Version = ?",
+        (approach, KERNEL_VERSION),
+    )
+    return {key: (fingerprint, blob) for key, fingerprint, blob in rows}
 
 
 def load_kmap(

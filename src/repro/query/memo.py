@@ -1,0 +1,125 @@
+"""Cross-request memoization of kernel evaluations.
+
+A filescan's unit of work -- evaluating one compiled kernel against one
+query automaton -- is a pure function of ``(kernel content, query)``.
+The memo caches its result keyed on the kernel's content fingerprint
+(:func:`repro.sfa.kernel.kernel_fingerprint`) and the query's pattern
+fingerprint, so repeated probes of hot chunks skip the DP entirely.
+
+Although content-addressed keys can never serve a *wrong* answer, the
+memo still honours the service's write model: :meth:`invalidate` bumps a
+generation clock exactly like :class:`repro.service.cache.QueryCache`,
+and :meth:`put` is generation-fenced so an entry computed against
+pre-ingest data cannot land after the ingest's invalidation.  The engine
+invalidates its memo on every ingest batch; the sharded service gives
+each shard its own memo instance, so the existing per-shard generation
+clocks carry over unchanged.
+
+Hits and misses are reported both through :meth:`stats` (the ``/stats``
+memo block) and the process-wide ``memo_hits``/``memo_misses`` engine
+counters (``/metrics``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+__all__ = ["KernelMemo", "query_fingerprint"]
+
+
+def query_fingerprint(pattern: str) -> str:
+    """Content digest of a query automaton.
+
+    The DFA is fully determined by its LIKE/regex pattern (compilation
+    is deterministic), so hashing the pattern hashes the automaton.
+    """
+    return hashlib.sha256(pattern.encode("utf-8")).hexdigest()[:32]
+
+
+class KernelMemo:
+    """Bounded LRU of (kernel fingerprint, query fingerprint) -> result.
+
+    Values are ``(probability, dp_cells, dp_transitions)`` triples --
+    the full :class:`repro.query.eval_kernel.LineResult` payload.  All
+    operations take the internal lock; one instance is shared by every
+    connection serving a shard.  ``capacity <= 0`` disables the memo.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: OrderedDict[
+            tuple[str, str], tuple[float, int, int]
+        ] = OrderedDict()
+        self._generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every invalidation; snapshot before evaluating."""
+        with self._lock:
+            return self._generation
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(
+        self, kernel_fp: str, query_fp: str
+    ) -> tuple[float, int, int] | None:
+        """The memoized result, marking it recently used; None on miss."""
+        key = (kernel_fp, query_fp)
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return value
+
+    def put(
+        self,
+        kernel_fp: str,
+        query_fp: str,
+        value: tuple[float, int, int],
+        generation: int | None = None,
+    ) -> None:
+        """Store one result; a no-op if an invalidation raced the compute."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return
+            self._data[(kernel_fp, query_fp)] = value
+            self._data.move_to_end((kernel_fp, query_fp))
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop everything and advance the generation clock (per ingest)."""
+        with self._lock:
+            self._data.clear()
+            self._generation += 1
+            self.invalidations += 1
+
+    def stats(self) -> dict[str, float | int]:
+        """Snapshot for the ``/stats`` memo block."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "generation": self._generation,
+            }

@@ -29,6 +29,7 @@ from ..db.sql import SqlError, execute_select
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer
 from ..query.like import compile_like
+from ..query.memo import KernelMemo
 from . import trace
 from .cache import QueryCache, key_from_json, key_to_json
 from .jobs import Job, JobEngine, JobsApi, atomic_write_json
@@ -169,6 +170,7 @@ class QueryService(JobsApi, ObservabilityApi):
         slow_log_path: str | None = None,
         access_log_path: str | None = None,
         profile_hz: float = 0.0,
+        scan_procs: int | None = None,
     ) -> None:
         if path == ":memory:":
             raise ValueError(
@@ -177,17 +179,32 @@ class QueryService(JobsApi, ObservabilityApi):
             )
         self.path = path
         self.index_approach = index_approach
+        # One kernel memo for this database: shared by the writer (whose
+        # ingests bump its generation clock) and every pooled reader.
+        self.kernel_memo = KernelMemo()
         # The writer goes first so a fresh file gets its schema (and WAL
         # mode, letting pooled readers proceed during a batch commit)
         # before any reader connects.
-        self._writer = StaccatoDB(path, k=k, m=m, check_same_thread=False)
+        self._writer = StaccatoDB(
+            path,
+            k=k,
+            m=m,
+            check_same_thread=False,
+            kernel_memo=self.kernel_memo,
+        )
         try:
             self._writer.conn.execute("PRAGMA journal_mode=WAL")
         except Exception:
             pass  # e.g. filesystems without mmap/locking; rollback mode works
         self._write_lock = threading.Lock()
         self.pool = ConnectionPool(
-            path, size=pool_size, k=k, m=m, index_approach=index_approach
+            path,
+            size=pool_size,
+            k=k,
+            m=m,
+            index_approach=index_approach,
+            kernel_memo=self.kernel_memo,
+            scan_procs=scan_procs,
         )
         self.cache = QueryCache(cache_size)
         self.metrics = ServiceMetrics()
@@ -454,6 +471,7 @@ class QueryService(JobsApi, ObservabilityApi):
         return {
             "db": {"path": self.path, "lines": lines, "storage_bytes": storage},
             "cache": self.cache.stats(),
+            "kernel_memo": self.kernel_memo.stats(),
             "pool": self.pool.stats(),
             "jobs": self.jobs.stats(),
             "requests": self.metrics.snapshot(),

@@ -29,6 +29,7 @@ from collections import deque
 from typing import Iterator
 
 from ..db.engine import StaccatoDB
+from ..query.memo import KernelMemo
 from . import trace
 
 __all__ = ["ConnectionPool", "PoolClosed"]
@@ -59,6 +60,8 @@ class ConnectionPool:
         m: int = 40,
         index_approach: str = "staccato",
         label: str | None = None,
+        kernel_memo: KernelMemo | None = None,
+        scan_procs: int | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
@@ -66,9 +69,18 @@ class ConnectionPool:
         self.size = size
         #: Display name in ``/stats`` (the shard router labels per shard).
         self.label = label
+        # One memo shared by every pooled reader (and, in the service, the
+        # writer): any connection's evaluation warms all the others.
         self._entries = [
             _PooledConnection(
-                StaccatoDB(path, k=k, m=m, check_same_thread=False)
+                StaccatoDB(
+                    path,
+                    k=k,
+                    m=m,
+                    check_same_thread=False,
+                    kernel_memo=kernel_memo,
+                    scan_procs=scan_procs,
+                )
             )
             for _ in range(size)
         ]

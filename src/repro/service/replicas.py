@@ -40,6 +40,7 @@ import time
 from typing import Callable, Iterator, Sequence
 
 from ..db.engine import StaccatoDB
+from ..query.memo import KernelMemo
 from . import trace
 from .pool import ConnectionPool
 
@@ -200,13 +201,20 @@ class Replica:
         index_approach: str,
         cooldown_s: float,
         clock: Callable[[], float],
+        kernel_memo: KernelMemo | None = None,
+        scan_procs: int | None = None,
     ) -> None:
         self.shard_index = shard_index
         self.replica_index = replica_index
         self.path = path
         # Writer first: a fresh replica file gets its schema (and WAL
-        # mode) before any pooled reader connects.
-        self.writer = StaccatoDB(path, k=k, m=m, check_same_thread=False)
+        # mode) before any pooled reader connects.  Lockstep writes make
+        # all replicas byte-identical, and the kernel memo is
+        # content-addressed, so one shard-level memo safely serves every
+        # copy (the writer's ingests bump its generation clock).
+        self.writer = StaccatoDB(
+            path, k=k, m=m, check_same_thread=False, kernel_memo=kernel_memo
+        )
         try:
             self.writer.conn.execute("PRAGMA journal_mode=WAL")
         except Exception:
@@ -218,6 +226,8 @@ class Replica:
             m=m,
             index_approach=index_approach,
             label=f"shard-{shard_index}/r{replica_index}",
+            kernel_memo=kernel_memo,
+            scan_procs=scan_procs,
         )
         self.breaker = CircuitBreaker(cooldown_s=cooldown_s, clock=clock)
         #: A stale replica missed a write that committed on a sibling;
@@ -274,6 +284,8 @@ class ReplicaSet:
         index_approach: str = "staccato",
         cooldown_s: float = DEFAULT_COOLDOWN_S,
         clock: Callable[[], float] = time.monotonic,
+        kernel_memo: KernelMemo | None = None,
+        scan_procs: int | None = None,
     ) -> None:
         if count < 1:
             raise ValueError("a shard needs at least one replica")
@@ -285,6 +297,8 @@ class ReplicaSet:
         self._index_approach = index_approach
         self._cooldown_s = cooldown_s
         self._clock = clock
+        self._kernel_memo = kernel_memo
+        self._scan_procs = scan_procs
         self._lock = threading.Lock()
         self._rr = 0
         self._next_index = count
@@ -360,6 +374,8 @@ class ReplicaSet:
             self._index_approach,
             self._cooldown_s,
             self._clock,
+            kernel_memo=self._kernel_memo,
+            scan_procs=self._scan_procs,
         )
 
     def _clone(self, source: Replica, replica_index: int) -> Replica:

@@ -75,6 +75,7 @@ from ..db.sql import (
 from ..ocr.corpus import Dataset, Document
 from ..ocr.engine import SimulatedOcrEngine
 from ..query.answers import Answer
+from ..query.memo import KernelMemo
 from . import trace
 from .app import answer_row, check_pattern, index_fingerprint, run_search_plan
 from .cache import QueryCache, key_from_json, key_to_json
@@ -412,7 +413,14 @@ def merge_ranked(
 class _Shard:
     """One shard's moving parts: replica set, write lock, generation."""
 
-    __slots__ = ("index", "path", "write_lock", "replicas", "generation")
+    __slots__ = (
+        "index",
+        "path",
+        "write_lock",
+        "replicas",
+        "generation",
+        "kernel_memo",
+    )
 
     def __init__(
         self,
@@ -425,10 +433,15 @@ class _Shard:
         num_replicas: int,
         cooldown_s: float,
         clock: Callable[[], float],
+        scan_procs: int | None = None,
     ) -> None:
         self.index = index
         self.path = path
         self.write_lock = threading.Lock()
+        # One kernel memo per shard: its generation clock advances with
+        # this shard's writes only, so a busy shard's ingests never cold
+        # the other shards' memos.
+        self.kernel_memo = KernelMemo()
         self.replicas = ReplicaSet(
             index,
             path,
@@ -439,6 +452,8 @@ class _Shard:
             index_approach=index_approach,
             cooldown_s=cooldown_s,
             clock=clock,
+            kernel_memo=self.kernel_memo,
+            scan_procs=scan_procs,
         )
         self.generation = 0
 
@@ -475,6 +490,7 @@ class ShardedPool:
         num_replicas: int = 1,
         cooldown_s: float = DEFAULT_COOLDOWN_S,
         clock: Callable[[], float] = time.monotonic,
+        scan_procs: int | None = None,
     ) -> None:
         if not paths:
             raise ValueError("a sharded pool needs at least one shard path")
@@ -493,6 +509,7 @@ class ShardedPool:
                 num_replicas,
                 cooldown_s,
                 clock,
+                scan_procs=scan_procs,
             )
             for i, path in enumerate(paths)
         ]
@@ -546,6 +563,7 @@ class ShardedPool:
                 "index": shard.index,
                 "path": shard.path,
                 "generation": shard.generation,
+                "kernel_memo": shard.kernel_memo.stats(),
                 "pool": shard.pool.stats(),
                 "replicas": shard.replicas.stats(),
             }
@@ -581,6 +599,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
         profile_hz: float = 0.0,
         paths: Sequence[str] | None = None,
         sidecar_dir: str | None = None,
+        scan_procs: int | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a sharded service needs at least one shard")
@@ -616,6 +635,7 @@ class ShardedQueryService(JobsApi, ObservabilityApi):
             index_approach=index_approach,
             num_replicas=replicas,
             cooldown_s=replica_cooldown_s,
+            scan_procs=scan_procs,
         )
         self.cache = QueryCache(cache_size)
         self.metrics = ServiceMetrics()

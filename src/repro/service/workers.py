@@ -441,6 +441,7 @@ def run_worker(args: argparse.Namespace) -> int:
         replica_cooldown_s=args.replica_cooldown,
         trace_enabled=not args.no_trace,
         profile_hz=args.profile_hz,
+        scan_procs=args.scan_procs,
     )
     server = WorkerHTTPServer((args.host, args.port), service)
     stop = threading.Event()
@@ -510,6 +511,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--no-trace", action="store_true")
     parser.add_argument("--profile-hz", type=float, default=0.0)
+    parser.add_argument("--scan-procs", type=int, default=None)
     return parser
 
 
@@ -999,6 +1001,7 @@ class WorkerRouterService(ShardedQueryService):
         write_deadline_s: float = DEFAULT_WRITE_DEADLINE_S,
         hedge_delay_s: float | None = DEFAULT_HEDGE_DELAY_S,
         worker_ready_timeout_s: float = WORKER_READY_TIMEOUT_S,
+        scan_procs: int | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a sharded service needs at least one shard")
@@ -1072,6 +1075,8 @@ class WorkerRouterService(ShardedQueryService):
         ]
         if not trace_enabled:
             spawn_flags.append("--no-trace")
+        if scan_procs is not None:
+            spawn_flags.extend(["--scan-procs", str(scan_procs)])
         try:
             self._workers = WorkerPool(
                 shard_dir,
@@ -1874,7 +1879,9 @@ class WorkerRouterService(ShardedQueryService):
                 else None
             )
             block = blocks[0] if isinstance(blocks, list) and blocks else {}
-            for field in ("pool", "replicas", "lines", "storage_bytes"):
+            for field in (
+                "pool", "replicas", "lines", "storage_bytes", "kernel_memo"
+            ):
                 entry[field] = self._reindex_labels(block.get(field), index)
             # Engine-work counters are per *process*: the worker's DP and
             # probe work shows up in its own /stats (requests.engine),

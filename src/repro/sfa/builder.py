@@ -20,6 +20,7 @@ __all__ = [
     "figure2_sfa",
     "figure3_sfa",
     "random_chain_sfa",
+    "random_chunk_sfa",
     "random_dag_sfa",
 ]
 
@@ -112,6 +113,39 @@ def random_chain_sfa(
     return chain_sfa(
         [_random_emissions(rng, alphabet, max_choices) for _ in range(length)]
     )
+
+
+def random_chunk_sfa(
+    rng: random.Random,
+    chunks: int,
+    alphabet: str = "abcdefgh",
+    max_strings: int = 4,
+    max_chunk_len: int = 5,
+) -> Sfa:
+    """A seeded random *chunk* SFA: multi-character string emissions.
+
+    Shaped like a Staccato chunk graph (``staccato_approximate`` output):
+    a chain whose edges emit whole strings rather than single characters.
+    Strings within one chunk are distinct (required by the emission
+    merge), and lowering such graphs exercises the compiled kernel's
+    symbol table with symbols of varying length -- including the
+    character-composition transition build of the numpy batch path.
+    """
+    positions = []
+    for _ in range(chunks):
+        count = rng.randint(1, max_strings)
+        strings: set[str] = set()
+        while len(strings) < count:
+            length = rng.randint(1, max_chunk_len)
+            strings.add(
+                "".join(rng.choice(alphabet) for _ in range(length))
+            )
+        weights = [rng.random() + 0.05 for _ in strings]
+        total = sum(weights)
+        positions.append(
+            [(s, w / total) for s, w in zip(sorted(strings), weights)]
+        )
+    return chain_sfa(positions)
 
 
 def random_dag_sfa(

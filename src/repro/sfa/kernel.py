@@ -1,0 +1,278 @@
+"""Compiled SFA kernels: the evaluation DP lowered to flat arrays.
+
+:mod:`repro.query.eval_sfa` evaluates a query DFA against an SFA by
+walking the graph's dicts -- successor lists, per-edge emission lists,
+per-node mass dicts.  That shape is flexible but slow: every filescan
+re-discovers the same topological order, re-hashes the same emission
+strings and re-walks the DFA character by character.
+
+A :class:`CompiledKernel` is the same DP *program* precomputed once, at
+construction time:
+
+* nodes renumbered by topological position (``0 .. num_nodes-1``);
+* emission strings compacted into a per-line symbol table, so the
+  evaluator can cache DFA transitions per ``(state, symbol)`` instead of
+  stepping character by character;
+* the transition program flattened into parallel ``(symbol, prob,
+  destination)`` arrays recorded in **exactly** the iteration order of
+  the dict evaluator (topological order, then ``set(successors)``
+  order, then emission order), so a replay performs bit-for-bit the
+  same float operations;
+* the backward masses of :func:`repro.sfa.ops.backward_mass`
+  precomputed per node, for the absorbing-accept shortcut.
+
+The kernel serializes to a versioned blob (``KRN1``) stored alongside
+the ``SFA1`` blobs; its content fingerprint keys the cross-request
+memo in :mod:`repro.query.memo`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from .model import Sfa, SfaError
+from .ops import backward_mass, topological_order
+
+__all__ = [
+    "KERNEL_VERSION",
+    "CompiledKernel",
+    "compile_kernel",
+    "kernel_to_bytes",
+    "kernel_from_bytes",
+    "kernel_fingerprint",
+]
+
+#: Bump when the blob layout or the compiled program semantics change;
+#: loaders recompile from the ``SFA1`` blob on mismatch.
+KERNEL_VERSION = 1
+
+_MAGIC = b"KRN1"
+_HEADER = struct.Struct("<4sHIIIII")  # magic, version, nodes, syms, steps, start, final
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_STEP = struct.Struct("<IId")  # sym, dst, prob
+
+
+class CompiledKernel:
+    """One SFA's evaluation program in flat, replayable form.
+
+    ``node_offsets[t] : node_offsets[t+1]`` bounds the program steps of
+    the node at topological position ``t``; each step ``j`` emits symbol
+    ``symbols[step_syms[j]]`` with probability ``step_probs[j]`` into the
+    node at position ``step_dst[j]``.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "start_pos",
+        "final_pos",
+        "symbols",
+        "node_offsets",
+        "step_syms",
+        "step_probs",
+        "step_dst",
+        "backward",
+        "_fingerprint",
+        "_np_arrays",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        start_pos: int,
+        final_pos: int,
+        symbols: list[str],
+        node_offsets: list[int],
+        step_syms: list[int],
+        step_probs: list[float],
+        step_dst: list[int],
+        backward: list[float],
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.start_pos = start_pos
+        self.final_pos = final_pos
+        self.symbols = symbols
+        self.node_offsets = node_offsets
+        self.step_syms = step_syms
+        self.step_probs = step_probs
+        self.step_dst = step_dst
+        self.backward = backward
+        self._fingerprint: str | None = None
+        self._np_arrays = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Total program steps (one per stored emission)."""
+        return len(self.step_syms)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the serialized kernel (memo key half)."""
+        if self._fingerprint is None:
+            self._fingerprint = kernel_fingerprint(self)
+        return self._fingerprint
+
+    def numpy_arrays(self, np):
+        """The program as numpy arrays (built once, cached).
+
+        Returns ``(syms, probs, dst, backward, flat_back)`` where
+        ``flat_back[j] = backward[step_dst[j]]`` pre-gathers the
+        absorbing shortcut's per-step backward mass.
+        """
+        if self._np_arrays is None:
+            syms = np.asarray(self.step_syms, dtype=np.int64)
+            probs = np.asarray(self.step_probs, dtype=np.float64)
+            dst = np.asarray(self.step_dst, dtype=np.int64)
+            backward = np.asarray(self.backward, dtype=np.float64)
+            flat_back = (
+                backward[dst] if len(self.step_dst) else backward[:0]
+            )
+            self._np_arrays = (syms, probs, dst, backward, flat_back)
+        return self._np_arrays
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledKernel(nodes={self.num_nodes}, "
+            f"steps={self.num_steps}, symbols={len(self.symbols)})"
+        )
+
+
+def compile_kernel(sfa: Sfa) -> CompiledKernel:
+    """Lower ``sfa`` into its compiled kernel.
+
+    The program is recorded in the *exact* iteration order of the dict
+    evaluator (:func:`repro.query.eval_sfa.match_probability`) --
+    topological order, ``set(successors)`` order, emission order -- so
+    replaying it performs the identical float operation sequence.
+    """
+    order = topological_order(sfa)
+    pos = {node: i for i, node in enumerate(order)}
+    symbols: list[str] = []
+    sym_ids: dict[str, int] = {}
+    node_offsets = [0]
+    step_syms: list[int] = []
+    step_probs: list[float] = []
+    step_dst: list[int] = []
+    for node in order:
+        # set(...) mirrors the dict evaluator's successor iteration; the
+        # resulting order is deterministic for identical successor lists
+        # (small-int hashing), which the A/B equivalence tests pin down.
+        for succ in set(sfa.successors(node)):
+            dst = pos[succ]
+            for emission in sfa.emissions(node, succ):
+                sid = sym_ids.get(emission.string)
+                if sid is None:
+                    sid = sym_ids[emission.string] = len(symbols)
+                    symbols.append(emission.string)
+                step_syms.append(sid)
+                step_probs.append(emission.prob)
+                step_dst.append(dst)
+        node_offsets.append(len(step_syms))
+    back = backward_mass(sfa)
+    return CompiledKernel(
+        num_nodes=len(order),
+        start_pos=pos[sfa.start],
+        final_pos=pos[sfa.final],
+        symbols=symbols,
+        node_offsets=node_offsets,
+        step_syms=step_syms,
+        step_probs=step_probs,
+        step_dst=step_dst,
+        backward=[back[node] for node in order],
+    )
+
+
+# ----------------------------------------------------------------------
+# Blob codec (versioned; loaders recompile on any mismatch)
+# ----------------------------------------------------------------------
+def kernel_to_bytes(kernel: CompiledKernel) -> bytes:
+    """Serialize a kernel to its ``KRN1`` blob."""
+    parts = [
+        _HEADER.pack(
+            _MAGIC,
+            KERNEL_VERSION,
+            kernel.num_nodes,
+            len(kernel.symbols),
+            kernel.num_steps,
+            kernel.start_pos,
+            kernel.final_pos,
+        )
+    ]
+    parts.extend(_U32.pack(off) for off in kernel.node_offsets)
+    parts.extend(_F64.pack(mass) for mass in kernel.backward)
+    for sym in kernel.symbols:
+        raw = sym.encode("utf-8")
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    parts.extend(
+        _STEP.pack(sym, dst, prob)
+        for sym, dst, prob in zip(
+            kernel.step_syms, kernel.step_dst, kernel.step_probs
+        )
+    )
+    return b"".join(parts)
+
+
+def kernel_from_bytes(blob: bytes) -> CompiledKernel:
+    """Deserialize a ``KRN1`` blob (raises :class:`SfaError` if not one)."""
+    if len(blob) < _HEADER.size:
+        raise SfaError("truncated kernel blob")
+    magic, version, n_nodes, n_syms, n_steps, start, final = _HEADER.unpack_from(
+        blob, 0
+    )
+    if magic != _MAGIC:
+        raise SfaError(f"bad kernel blob magic {magic!r}")
+    if version != KERNEL_VERSION:
+        raise SfaError(
+            f"kernel blob version {version} != supported {KERNEL_VERSION}"
+        )
+    offset = _HEADER.size
+    node_offsets = list(
+        struct.unpack_from(f"<{n_nodes + 1}I", blob, offset)
+    )
+    offset += (n_nodes + 1) * _U32.size
+    backward = list(struct.unpack_from(f"<{n_nodes}d", blob, offset))
+    offset += n_nodes * _F64.size
+    symbols = []
+    for _ in range(n_syms):
+        (byte_len,) = _U32.unpack_from(blob, offset)
+        offset += _U32.size
+        symbols.append(blob[offset : offset + byte_len].decode("utf-8"))
+        offset += byte_len
+    step_syms: list[int] = []
+    step_probs: list[float] = []
+    step_dst: list[int] = []
+    for _ in range(n_steps):
+        sym, dst, prob = _STEP.unpack_from(blob, offset)
+        offset += _STEP.size
+        step_syms.append(sym)
+        step_dst.append(dst)
+        step_probs.append(prob)
+    if offset != len(blob):
+        raise SfaError("trailing bytes in kernel blob")
+    if node_offsets[0] != 0 or node_offsets[-1] != n_steps:
+        raise SfaError("kernel blob offsets are inconsistent")
+    return CompiledKernel(
+        num_nodes=n_nodes,
+        start_pos=start,
+        final_pos=final,
+        symbols=symbols,
+        node_offsets=node_offsets,
+        step_syms=step_syms,
+        step_probs=step_probs,
+        step_dst=step_dst,
+        backward=backward,
+    )
+
+
+def kernel_fingerprint(kernel: CompiledKernel) -> str:
+    """Stable content digest of the kernel (hex, 32 chars).
+
+    Computed over the serialized blob, so two kernels compiled from
+    structurally identical SFAs -- in the same or different processes --
+    share a fingerprint, and any change to the program (probabilities,
+    symbols, topology, blob version) changes it.
+    """
+    return hashlib.sha256(kernel_to_bytes(kernel)).hexdigest()[:32]

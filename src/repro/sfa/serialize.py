@@ -12,6 +12,11 @@ use.  The format is a compact little-endian struct layout:
                     then per emission: byte_len u32 | utf-8 bytes | prob f64
 
 A JSON codec is provided as well for debugging and test fixtures.
+
+Compiled evaluation kernels (:mod:`repro.sfa.kernel`) have their own
+versioned ``KRN1`` blob layout, stored alongside the ``SFA1`` blobs in
+the ``CompiledKernel`` table; their codec is re-exported here so this
+module stays the single serialization surface of the SFA stack.
 """
 
 from __future__ import annotations
@@ -19,9 +24,18 @@ from __future__ import annotations
 import json
 import struct
 
+from .kernel import kernel_from_bytes, kernel_to_bytes
 from .model import Sfa, SfaError
 
-__all__ = ["to_bytes", "from_bytes", "to_json", "from_json", "blob_size"]
+__all__ = [
+    "to_bytes",
+    "from_bytes",
+    "to_json",
+    "from_json",
+    "blob_size",
+    "kernel_to_bytes",
+    "kernel_from_bytes",
+]
 
 _MAGIC = b"SFA1"
 _HEADER = struct.Struct("<4sIIII")

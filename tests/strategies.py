@@ -12,11 +12,12 @@ import random
 from hypothesis import strategies as st
 
 from repro.service.shards import RoutingTable
-from repro.sfa.builder import random_chain_sfa, random_dag_sfa
+from repro.sfa.builder import random_chain_sfa, random_chunk_sfa, random_dag_sfa
 from repro.sfa.model import Sfa
 
 __all__ = [
     "chain_sfas",
+    "chunk_sfas",
     "dag_sfas",
     "keyword_patterns",
     "regex_patterns",
@@ -33,6 +34,16 @@ def chain_sfas(
     seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
     length = draw(st.integers(min_value=min_length, max_value=max_length))
     return random_chain_sfa(random.Random(seed), length, max_choices=max_choices)
+
+
+@st.composite
+def chunk_sfas(draw, min_chunks: int = 1, max_chunks: int = 6) -> Sfa:
+    """Random chunk graphs with multi-character string emissions --
+    shaped like ``staccato_approximate`` output, exercising the compiled
+    kernel's symbol table with symbols of varying length."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    chunks = draw(st.integers(min_value=min_chunks, max_value=max_chunks))
+    return random_chunk_sfa(random.Random(seed), chunks)
 
 
 @st.composite

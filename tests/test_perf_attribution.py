@@ -638,7 +638,8 @@ class TestBenchHistory:
     def test_fig10_driver_emits_metrics(self, tmp_path):
         metrics = run_fig10(sizes=[6], repeats=1, workers=1)
         assert set(metrics) == {
-            "map_runtime_ms_6", "staccato_runtime_ms_6", "fullsfa_runtime_ms_6"
+            "map_runtime_ms_6", "staccato_runtime_ms_6",
+            "staccato40_runtime_ms_6", "fullsfa_runtime_ms_6",
         }
         assert all(m["value"] > 0 for m in metrics.values())
         path = history.record_run("fig10", metrics, history_dir=tmp_path)
